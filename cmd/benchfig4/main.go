@@ -1,0 +1,93 @@
+// Command benchfig4 regenerates the paper's Fig. 4 (average paths covered
+// by Peach and Peach* on the six ICS protocol projects) and the §V-B
+// headline summary (final path increase, speed to equal coverage).
+//
+// Usage:
+//
+//	benchfig4                    # all six panels + summary (default config)
+//	benchfig4 -project libmodbus # one panel
+//	benchfig4 -summary           # summary table only
+//	benchfig4 -execs 50000 -reps 10 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+
+	_ "repro/internal/targets/cs101"
+	_ "repro/internal/targets/dnp3"
+	_ "repro/internal/targets/iccp"
+	_ "repro/internal/targets/iec104"
+	_ "repro/internal/targets/iec61850"
+	_ "repro/internal/targets/modbus"
+)
+
+func main() {
+	def := bench.DefaultConfig()
+	var (
+		project     = flag.String("project", "", "single project (default: all six)")
+		execs       = flag.Int("execs", def.ExecBudget, "executions per repetition (scaled 24h budget)")
+		reps        = flag.Int("reps", def.Reps, "repetitions to average (paper uses 10)")
+		checkpoints = flag.Int("checkpoints", def.Checkpoints, "curve samples")
+		seed        = flag.Uint64("seed", def.Seed, "base seed")
+		summaryOnly = flag.Bool("summary", false, "print the summary table only")
+		csvDir      = flag.String("csv", "", "also write per-panel CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{ExecBudget: *execs, Reps: *reps, Checkpoints: *checkpoints, Seed: *seed}
+	projects := bench.Projects()
+	if *project != "" {
+		projects = []string{*project}
+	}
+
+	var results []bench.ProjectResult
+	for _, p := range projects {
+		r, err := bench.RunProject(p, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+		if !*summaryOnly {
+			fmt.Println(bench.FormatFig4Panel(r))
+			fmt.Printf("Peach  %s\nPeach* %s\n\n", bench.Sparkline(r.Peach), bench.Sparkline(r.Star))
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Println(bench.FormatSummary(results))
+	if *csvDir != "" {
+		f, err := os.Create(filepath.Join(*csvDir, "summary.csv"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteSummaryCSV(f, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV stores one panel's curves as <project>.csv in dir.
+func writeCSV(dir string, r bench.ProjectResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, r.Project+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.WriteCSV(f, r)
+}

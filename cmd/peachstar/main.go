@@ -1,0 +1,100 @@
+// Command peachstar fuzzes one of the built-in ICS protocol targets with
+// either the baseline Peach strategy or the full Peach* strategy, printing
+// progress and any unique crashes found.
+//
+// Usage:
+//
+//	peachstar -target libmodbus -strategy peachstar -execs 50000 -seed 1
+//	peachstar -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/peachstar"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "libmodbus", "protocol target to fuzz")
+		strategy = flag.String("strategy", "peachstar", "peach | peachstar")
+		execs    = flag.Int("execs", 50000, "target executions to run")
+		seed     = flag.Uint64("seed", 1, "campaign seed (reproducible)")
+		duration = flag.Duration("duration", 0, "wall-clock budget (overrides -execs when set)")
+		report   = flag.Int("report", 10, "number of progress reports")
+		list     = flag.Bool("list", false, "list available targets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(peachstar.TargetNames(), "\n"))
+		return
+	}
+
+	var strat peachstar.Strategy
+	switch strings.ToLower(*strategy) {
+	case "peach":
+		strat = peachstar.Peach
+	case "peachstar", "peach*":
+		strat = peachstar.PeachStar
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q (want peach or peachstar)\n", *strategy)
+		os.Exit(2)
+	}
+
+	tgt, err := peachstar.NewTarget(*target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	campaign, err := peachstar.NewCampaign(peachstar.Options{
+		Target:   tgt,
+		Strategy: strat,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("fuzzing %s with %s (seed %d)\n", *target, strat, *seed)
+	start := time.Now()
+	if *duration > 0 {
+		deadline := start.Add(*duration)
+		lastReport := start
+		for time.Now().Before(deadline) {
+			campaign.Step()
+			if time.Since(lastReport) >= *duration/time.Duration(*report) {
+				printProgress(campaign, start)
+				lastReport = time.Now()
+			}
+		}
+	} else {
+		per := *execs / *report
+		if per < 1 {
+			per = 1
+		}
+		for done := per; done <= *execs; done += per {
+			campaign.Run(done)
+			printProgress(campaign, start)
+		}
+	}
+
+	s := campaign.Stats()
+	fmt.Printf("\nfinished: %d execs, %d paths, %d edges, %d unique crashes, %d hangs, corpus %d puzzles\n",
+		s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.Hangs, s.CorpusPuzzles)
+	for i, c := range campaign.Crashes() {
+		fmt.Printf("crash %d: %s at %s (first at exec %d, seen %d times)\n  packet: %x\n",
+			i+1, c.Kind, c.Site, c.FirstExec, c.Count, c.Example)
+	}
+}
+
+func printProgress(c *peachstar.Campaign, start time.Time) {
+	s := c.Stats()
+	fmt.Printf("%8.1fs  execs %8d  paths %5d  edges %5d  crashes %3d  corpus %5d\n",
+		time.Since(start).Seconds(), s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+}

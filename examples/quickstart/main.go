@@ -1,0 +1,48 @@
+// Quickstart: fuzz the libmodbus target with Peach* for a fixed execution
+// budget and print what the campaign found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/peachstar"
+)
+
+func main() {
+	// Pick one of the six built-in ICS protocol targets.
+	target, err := peachstar.NewTarget("libmodbus")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A campaign is fully reproducible under a fixed seed.
+	campaign, err := peachstar.NewCampaign(peachstar.Options{
+		Target:   target,
+		Strategy: peachstar.PeachStar,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fuzz in slices so progress is visible.
+	for _, budget := range []int{5000, 10000, 20000, 40000} {
+		campaign.Run(budget)
+		s := campaign.Stats()
+		fmt.Printf("execs %6d: %3d paths, %3d edges, %d unique crashes, %4d puzzles\n",
+			s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+	}
+
+	// Report unique faults, ASan-style.
+	for _, c := range campaign.Crashes() {
+		fmt.Printf("\n%s in %s\n", c.Kind, c.Site)
+		fmt.Printf("  first triggered at execution %d, hit %d times\n", c.FirstExec, c.Count)
+		fmt.Printf("  reproducer packet: %x\n", c.Example)
+	}
+	if len(campaign.Crashes()) == 0 {
+		fmt.Println("\nno crashes at this budget — raise it or try another seed")
+	}
+}

@@ -1,0 +1,57 @@
+// Vulnaudit: the workflow behind the paper's Table I — audit the three ICS
+// protocol implementations in which Peach* found previously unknown
+// vulnerabilities, and contrast against the baseline at the same budget.
+//
+// Expect lib60870's getCOT-style faults (the paper's Listing 1/2), the
+// libmodbus use-after-free/SEGV pair, and libiccp's SEGV/overflow set; the
+// exact subset found depends on budget and seed.
+//
+//	go run ./examples/vulnaudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/peachstar"
+)
+
+func audit(project string, strategy peachstar.Strategy, budget int, seed uint64) []*peachstar.CrashRecord {
+	target, err := peachstar.NewTarget(project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := peachstar.NewCampaign(peachstar.Options{
+		Target:   target,
+		Strategy: strategy,
+		Seed:     seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign.Run(budget)
+	return campaign.Crashes()
+}
+
+func main() {
+	const budget = 30000
+	projects := []string{"libmodbus", "lib60870", "libiccp"}
+
+	total := 0
+	for _, p := range projects {
+		fmt.Printf("=== %s (%d execs per strategy) ===\n", p, budget)
+		baseline := audit(p, peachstar.Peach, budget, 1)
+		star := audit(p, peachstar.PeachStar, budget, 1)
+		fmt.Printf("  Peach  found %d unique faults\n", len(baseline))
+		fmt.Printf("  Peach* found %d unique faults:\n", len(star))
+		for _, c := range star {
+			fmt.Printf("    %-22s %s\n", c.Kind, c.Site)
+			fmt.Printf("      reproducer: %x\n", c.Example)
+		}
+		total += len(star)
+		fmt.Println()
+	}
+	fmt.Printf("Peach* total across the audited projects: %d unique faults\n", total)
+	fmt.Println("(Table I reports 9 across these three projects at the paper's budget;")
+	fmt.Println(" run cmd/benchtable1 for the full multi-repetition hunt.)")
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+
+	_ "repro/internal/targets/cs101"
+	_ "repro/internal/targets/dnp3"
+	_ "repro/internal/targets/iccp"
+	_ "repro/internal/targets/iec104"
+	_ "repro/internal/targets/iec61850"
+	_ "repro/internal/targets/modbus"
+)
+
+// quickCfg keeps unit-test budgets small; the committed experiment numbers
+// use DefaultConfig via cmd/benchfig4.
+var quickCfg = Config{ExecBudget: 3000, Reps: 2, Checkpoints: 6, Seed: 1}
+
+func TestProjectsListsAllSix(t *testing.T) {
+	ps := Projects()
+	if len(ps) != 6 {
+		t.Fatalf("projects = %v", ps)
+	}
+	for _, p := range ps {
+		if _, err := RunProject(p, Config{ExecBudget: 60, Reps: 1, Checkpoints: 2, Seed: 1}); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunProjectShape(t *testing.T) {
+	r, err := RunProject("libmodbus", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Peach.X) != quickCfg.Checkpoints || len(r.Star.Y) != quickCfg.Checkpoints {
+		t.Fatalf("series lengths: %d/%d", len(r.Peach.X), len(r.Star.Y))
+	}
+	// Curves are monotone: paths never decrease.
+	for i := 1; i < len(r.Peach.Y); i++ {
+		if r.Peach.Y[i] < r.Peach.Y[i-1] || r.Star.Y[i] < r.Star.Y[i-1] {
+			t.Fatal("paths-over-time must be monotone")
+		}
+	}
+	if r.Peach.Final() == 0 || r.Star.Final() == 0 {
+		t.Fatal("both fuzzers should find some paths")
+	}
+}
+
+func TestRunProjectUnknown(t *testing.T) {
+	if _, err := RunProject("nope", quickCfg); err == nil {
+		t.Fatal("unknown project should error")
+	}
+}
+
+func TestPeachStarAdvantageAcrossProjects(t *testing.T) {
+	// The §V-B shape claim at test scale: summed over all six projects,
+	// Peach* covers more final paths than Peach, and at least four of
+	// the six individual projects do not regress.
+	if testing.Short() {
+		t.Skip("multi-project campaign comparison")
+	}
+	var sumPeach, sumStar float64
+	wins := 0
+	for _, p := range Projects() {
+		r, err := RunProject(p, Config{ExecBudget: 6000, Reps: 2, Checkpoints: 6, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumPeach += r.Peach.Final()
+		sumStar += r.Star.Final()
+		if r.Star.Final() >= r.Peach.Final() {
+			wins++
+		}
+		t.Logf("%-14s peach=%.1f star=%.1f (%+.1f%%, %.2fX)",
+			p, r.Peach.Final(), r.Star.Final(), r.IncreasePct, r.Speedup)
+	}
+	if sumStar <= sumPeach {
+		t.Fatalf("peach* total %.1f <= peach total %.1f", sumStar, sumPeach)
+	}
+	if wins < 4 {
+		t.Fatalf("peach* regressed on %d of 6 projects", 6-wins)
+	}
+}
+
+func TestSpeedupComputation(t *testing.T) {
+	peach := Series{X: []int{100, 200, 300, 400}, Y: []float64{1, 2, 3, 4}}
+	star := Series{X: []int{100, 200, 300, 400}, Y: []float64{4, 5, 6, 7}}
+	// Star reaches peach's final level (4) at x=100; peach needed 400.
+	if s := speedup(star, peach); s != 4 {
+		t.Fatalf("speedup = %v, want 4", s)
+	}
+	// A star curve that never reaches the level reports 1 (no speedup).
+	slow := Series{X: []int{100, 200, 300, 400}, Y: []float64{0, 0, 1, 2}}
+	if s := speedup(slow, peach); s != 1 {
+		t.Fatalf("speedup (never reaches) = %v, want 1", s)
+	}
+}
+
+func TestPctIncrease(t *testing.T) {
+	if v := pctIncrease(127, 100); v != 27 {
+		t.Fatalf("pctIncrease = %v", v)
+	}
+	if v := pctIncrease(0, 0); v != 0 {
+		t.Fatalf("pctIncrease(0,0) = %v", v)
+	}
+	if v := pctIncrease(5, 0); v != 100 {
+		t.Fatalf("pctIncrease(5,0) = %v", v)
+	}
+}
+
+func TestHuntFindsTable1Subset(t *testing.T) {
+	// A small-budget hunt on lib60870 should already expose at least one
+	// of its three seeded SEGVs.
+	row, err := HuntVulnerabilities("lib60870", 8000, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Counts[mem.SEGV] == 0 {
+		t.Fatal("no lib60870 SEGV found at test budget")
+	}
+	if row.Counts[mem.HeapUseAfterFree] != 0 {
+		t.Fatal("lib60870 must not report UAF (wrong project's bug class)")
+	}
+}
+
+func TestHuntCleanProjects(t *testing.T) {
+	// The three projects outside Table I must stay crash-free.
+	for _, p := range []string{"IEC104", "libiec61850", "opendnp3"} {
+		row, err := HuntVulnerabilities(p, 5000, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Total != 0 {
+			t.Fatalf("%s reported %d unexpected faults: %v", p, row.Total, row.Sites)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := RunProject("IEC104", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProject("IEC104", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Peach.Y {
+		if a.Peach.Y[i] != b.Peach.Y[i] || a.Star.Y[i] != b.Star.Y[i] {
+			t.Fatal("equal configs must give equal curves")
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	r, err := RunProject("IEC104", Config{ExecBudget: 500, Reps: 1, Checkpoints: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := FormatFig4Panel(r)
+	for _, want := range []string{"IEC104", "Peach*", "final increase"} {
+		if !strings.Contains(panel, want) {
+			t.Fatalf("panel missing %q:\n%s", want, panel)
+		}
+	}
+	summary := FormatSummary([]ProjectResult{r})
+	if !strings.Contains(summary, "average") {
+		t.Fatalf("summary missing average:\n%s", summary)
+	}
+	table := FormatTable1([]VulnRow{{
+		Project: "lib60870",
+		Counts:  map[mem.FaultKind]int{mem.SEGV: 3},
+		Total:   3,
+	}})
+	if !strings.Contains(table, "lib60870") || !strings.Contains(table, "SEGV") {
+		t.Fatalf("table1 malformed:\n%s", table)
+	}
+	if !strings.Contains(table, "      3") {
+		t.Fatalf("table1 missing count:\n%s", table)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ExecBudget < 1000 || cfg.Reps < 1 || cfg.Checkpoints < 2 {
+		t.Fatalf("default config degenerate: %+v", cfg)
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports one project's Fig. 4 panel as CSV with the columns
+// execs, peach, peachstar — the plotting-friendly form of the curves.
+func WriteCSV(w io.Writer, r ProjectResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"execs", "peach", "peachstar"}); err != nil {
+		return fmt.Errorf("bench: csv header: %w", err)
+	}
+	for i := range r.Peach.X {
+		rec := []string{
+			fmt.Sprintf("%d", r.Peach.X[i]),
+			fmt.Sprintf("%.2f", r.Peach.Y[i]),
+			fmt.Sprintf("%.2f", r.Star.Y[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV exports the §V-B headline table across projects.
+func WriteSummaryCSV(w io.Writer, results []ProjectResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"project", "peach_final", "peachstar_final", "increase_pct", "speedup_x"}); err != nil {
+		return fmt.Errorf("bench: summary header: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Project,
+			fmt.Sprintf("%.2f", r.Peach.Final()),
+			fmt.Sprintf("%.2f", r.Star.Final()),
+			fmt.Sprintf("%.2f", r.IncreasePct),
+			fmt.Sprintf("%.2f", r.Speedup),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: summary row %s: %w", r.Project, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sparkline renders a curve as a compact unicode strip — the terminal
+// stand-in for a Fig. 4 panel.
+func Sparkline(s Series) string {
+	if len(s.Y) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	max := s.Y[0]
+	for _, v := range s.Y {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	out := make([]rune, len(s.Y))
+	for i, v := range s.Y {
+		idx := int(v / max * float64(len(blocks)-1))
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleResult() ProjectResult {
+	return ProjectResult{
+		Project:     "libmodbus",
+		Peach:       Series{X: []int{100, 200}, Y: []float64{3, 5}},
+		Star:        Series{X: []int{100, 200}, Y: []float64{4, 7}},
+		IncreasePct: 40,
+		Speedup:     2,
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "execs,peach,peachstar" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "200,5.00,7.00" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteSummaryCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSummaryCSV(&b, []ProjectResult{sampleResult()}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "libmodbus,5.00,7.00,40.00,2.00") {
+		t.Fatalf("summary = %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Series{Y: []float64{0, 1, 2, 4}}
+	spark := Sparkline(s)
+	if len([]rune(spark)) != 4 {
+		t.Fatalf("sparkline = %q", spark)
+	}
+	if []rune(spark)[3] != '█' {
+		t.Fatalf("max should render full block: %q", spark)
+	}
+	if Sparkline(Series{}) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	flat := Sparkline(Series{Y: []float64{0, 0}})
+	if len([]rune(flat)) != 2 {
+		t.Fatal("flat series length wrong")
+	}
+}

@@ -1,0 +1,310 @@
+// Package core implements the Peach* fuzzing engine (paper §IV): the
+// generation-based fuzzing loop of Algorithm 1, the coverage feedback that
+// identifies valuable seeds (§IV-B), the file cracker that splits valuable
+// seeds into puzzles (Algorithm 2), and the semantic-aware generation
+// strategy with file fixup that reassembles puzzles into new packets
+// (Algorithm 3, §IV-D).
+//
+// The same Engine runs both the baseline (plain Peach, Algorithm 1) and the
+// full Peach* strategy, selected by Config.Strategy, which is what the
+// paper's evaluation compares.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/crash"
+	"repro/internal/datamodel"
+	"repro/internal/mutator"
+	"repro/internal/rng"
+	"repro/internal/sandbox"
+)
+
+// Strategy selects the generation strategy.
+type Strategy int
+
+// Strategies compared in the paper's evaluation.
+const (
+	// StrategyPeach is the baseline: Algorithm 1 with Peach's inherent
+	// mutator-driven generation and no feedback loop.
+	StrategyPeach Strategy = iota
+	// StrategyPeachStar augments the baseline with coverage feedback,
+	// packet cracking, and semantic-aware generation (the paper's
+	// contribution).
+	StrategyPeachStar
+)
+
+// String names the strategy as in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPeach:
+		return "Peach"
+	case StrategyPeachStar:
+		return "Peach*"
+	case StrategyMutation:
+		return "MutFuzz"
+	case StrategyMutationStar:
+		return "MutFuzz*"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Models is the data-model set extracted from the format
+	// specification (EXTRACTDATAMODEL of Algorithms 1 and 2).
+	Models []*datamodel.Model
+	// Target is the instrumented protocol program under test.
+	Target sandbox.Target
+	// Strategy selects Peach or Peach*.
+	Strategy Strategy
+	// Seed drives all randomness; equal seeds give equal campaigns.
+	Seed uint64
+
+	// MaxBatch caps the number of seeds Algorithm 3 materializes per
+	// iteration from the donor cartesian product (the paper enumerates
+	// p*q combinations; unbounded enumeration explodes). 0 = default.
+	MaxBatch int
+	// CorpusPerSig bounds stored puzzles per rule signature. 0 = default.
+	CorpusPerSig int
+
+	// Ablation switches (all false in the faithful configuration).
+	//
+	// DisableFixup skips the File Fixup pass on semantically generated
+	// seeds, so donated chunks leave sizes/checksums stale (§IV-D argues
+	// this loses validity).
+	DisableFixup bool
+	// DisableCracker never cracks valuable seeds, leaving the corpus
+	// empty; Peach* then degenerates to the baseline plus feedback
+	// bookkeeping.
+	DisableCracker bool
+	// DisableCrossModel restricts donors to puzzles cracked from the
+	// same data model, suppressing the cross-opcode donation of §IV-D.
+	DisableCrossModel bool
+}
+
+// DefaultMaxBatch is the default cap on seeds materialized per semantic
+// generation round.
+const DefaultMaxBatch = 64
+
+// Stats is a snapshot of campaign progress.
+type Stats struct {
+	// Iterations of the outer fuzzing loop.
+	Iterations int
+	// Execs is the number of target executions (Peach* may execute
+	// several generated seeds per iteration).
+	Execs int
+	// Paths is the number of valuable seeds retained — the "paths
+	// covered" metric of Fig. 4.
+	Paths int
+	// SemanticExecs and SemanticPaths break out the share of executions
+	// and valuable seeds contributed by semantic-aware generation
+	// (always 0 for the baseline).
+	SemanticExecs int
+	SemanticPaths int
+	// Edges is the number of distinct coverage-map edges seen.
+	Edges int
+	// UniqueCrashes and Hangs summarize the crash bank.
+	UniqueCrashes int
+	Hangs         int
+	// CorpusPuzzles is the current puzzle count (0 for baseline).
+	CorpusPuzzles int
+}
+
+// Engine is one fuzzing campaign.
+type Engine struct {
+	cfg     Config
+	r       *rng.RNG
+	runner  *sandbox.Runner
+	virgin  *virginState
+	corp    *corpus.Corpus
+	crashes *crash.Bank
+	muts    []mutator.Mutator
+	stats   Stats
+	// pending holds seeds generated but not yet executed (Algorithm 3
+	// produces batches); pendingSemantic records their provenance.
+	pending         [][]byte
+	pendingSemantic bool
+	// valuable holds the retained coverage-increasing instances per
+	// model — the feedback-selected bases for "mutation on existing
+	// chunks" (§II). Bounded per model; older entries are evicted.
+	valuable map[string][]valuableSeed
+	// Yield accounting for the adaptive semantic share: execs and
+	// valuable seeds per strategy arm.
+	semExecs, semPaths   int
+	baseExecs, basePaths int
+	// mut is the byte-level state of the mutation strategies (§VII
+	// future-work extension).
+	mut mutationState
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("core: no data models")
+	}
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("core: no target")
+	}
+	for _, m := range cfg.Models {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	return &Engine{
+		cfg:      cfg,
+		r:        rng.New(cfg.Seed),
+		runner:   sandbox.NewRunner(cfg.Target),
+		virgin:   newVirginState(),
+		corp:     corpus.New(cfg.CorpusPerSig),
+		crashes:  crash.NewBank(),
+		muts:     mutator.Suite(),
+		valuable: make(map[string][]valuableSeed),
+	}, nil
+}
+
+// Stats returns the current campaign snapshot.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Edges = e.virgin.Edges()
+	s.UniqueCrashes = e.crashes.Unique()
+	s.Hangs = e.crashes.Hangs()
+	s.CorpusPuzzles = e.corp.Len()
+	return s
+}
+
+// Crashes exposes the crash bank for reporting.
+func (e *Engine) Crashes() *crash.Bank { return e.crashes }
+
+// Corpus exposes the puzzle corpus for reporting and examples.
+func (e *Engine) Corpus() *corpus.Corpus { return e.corp }
+
+// Step runs one iteration of the outer loop (Algorithm 1 lines 3-12):
+// generate seed(s) under the configured strategy, execute them, process
+// feedback. It returns the number of executions performed.
+func (e *Engine) Step() int {
+	e.stats.Iterations++
+	if len(e.pending) == 0 {
+		e.generate()
+	}
+	execs := 0
+	// Execute the whole pending batch this step; each seed is one
+	// RUNTARGET of Algorithm 1.
+	for _, seed := range e.pending {
+		e.execute(seed)
+		execs++
+	}
+	e.pending = e.pending[:0]
+	return execs
+}
+
+// Run executes steps until at least execBudget target executions have been
+// performed.
+func (e *Engine) Run(execBudget int) {
+	for e.stats.Execs < execBudget {
+		e.Step()
+	}
+}
+
+// generate refills the pending batch under the configured strategy.
+//
+// Peach* applies the semantic-aware strategy "in the following iteration of
+// seed generation" once the corpus is available (§IV-A), but the inherent
+// strategy keeps running too — without it, exploration would stop producing
+// the novel chunk material the corpus feeds on. The share of iterations
+// given to semantic generation adapts to its measured yield (valuable
+// seeds per execution) relative to the inherent strategy, so recombination
+// gets budget exactly where cross-model donation is paying off.
+func (e *Engine) generate() {
+	if e.isMutationStrategy() {
+		e.pendingSemantic = false
+		e.pending = append(e.pending, e.mutationGenerate())
+		return
+	}
+	m := rng.Pick(e.r, e.cfg.Models) // CHOOSE(S_M)
+	e.pendingSemantic = false
+	if e.cfg.Strategy == StrategyPeachStar && !e.corp.Empty() && e.semanticTurn() {
+		e.pending = e.semanticGenerate(m)
+		if len(e.pending) > 0 {
+			e.pendingSemantic = true
+			return
+		}
+	}
+	// Baseline generation (Algorithm 1): one seed from the model's
+	// chunks via the inherent mutators.
+	e.pending = append(e.pending, e.baselineGenerate(m))
+}
+
+// semanticTurn decides whether this iteration uses semantic generation, by
+// steering the semantic arm's share of *executions* (batches are several
+// seeds, so iteration-level coin flips would overshoot). The target share
+// is the smoothed relative yield (valuable seeds per execution) of the two
+// arms, clamped to [3%, 50%]: recombination is never starved — its donor
+// corpus keeps improving — and batch replay never crowds out exploration.
+func (e *Engine) semanticTurn() bool {
+	// The baseline arm carries an optimism bonus; the semantic arm does
+	// not: with no recent semantic yield the share must fall to the
+	// floor rather than drift back to the smoothing prior.
+	semYield := float64(e.semPaths) / (float64(e.semExecs) + 256)
+	baseYield := (float64(e.basePaths) + 1) / (float64(e.baseExecs) + 256)
+	share := semYield / (semYield + baseYield)
+	if share < 0.03 {
+		share = 0.03
+	}
+	if share > 0.5 {
+		share = 0.5
+	}
+	total := float64(e.semExecs+e.baseExecs) + 1
+	return float64(e.semExecs) < share*total
+}
+
+// execute runs one seed and processes coverage and crash feedback.
+func (e *Engine) execute(seed []byte) {
+	e.stats.Execs++
+	if e.pendingSemantic {
+		e.semExecs++
+		e.stats.SemanticExecs++
+	} else {
+		e.baseExecs++
+	}
+	// Decay the yield window periodically so the semantic share tracks
+	// *marginal* productivity, not the campaign-long average — late in a
+	// campaign both arms' historical yields converge even when one has
+	// stopped paying.
+	if (e.semExecs+e.baseExecs)%1024 == 0 {
+		e.semExecs = e.semExecs * 3 / 4
+		e.semPaths = e.semPaths * 3 / 4
+		e.baseExecs = e.baseExecs * 3 / 4
+		e.basePaths = e.basePaths * 3 / 4
+	}
+	res := e.runner.Run(seed)
+	switch res.Outcome {
+	case sandbox.Crash:
+		e.crashes.Report(res.Fault, seed, e.stats.Execs, res.PathSig)
+	case sandbox.Hang:
+		e.crashes.ReportHang()
+	}
+	// Valuable-seed identification (§IV-B): did this execution reach a
+	// new program state?
+	if e.virgin.Merge(e.runner.Tracer().Raw()) {
+		e.stats.Paths++
+		if e.pendingSemantic {
+			e.semPaths++
+			e.stats.SemanticPaths++
+		} else {
+			e.basePaths++
+		}
+		if e.isMutationStrategy() {
+			e.mutationRetain(seed)
+		}
+		star := e.cfg.Strategy == StrategyPeachStar || e.cfg.Strategy == StrategyMutationStar
+		if star && !e.cfg.DisableCracker {
+			e.crackValuable(seed, e.runner.Tracer().CountEdges())
+		}
+	}
+}

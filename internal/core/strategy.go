@@ -1,0 +1,212 @@
+package core
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/datamodel"
+	"repro/internal/mutator"
+	"repro/internal/rng"
+)
+
+// virginState wraps the campaign coverage accumulator so the engine file
+// stays strategy-focused.
+type virginState struct {
+	v *coverage.Virgin
+}
+
+func newVirginState() *virginState { return &virginState{v: coverage.NewVirgin()} }
+
+func (s *virginState) Merge(raw []byte) bool { return s.v.Merge(raw) }
+func (s *virginState) Edges() int            { return s.v.Edges() }
+
+// baselineGenerate implements Algorithm 1's per-iteration body for one
+// model: ANALYZE the chunks, GENERATE with Peach's inherent mutators, JOINT
+// in declared order. Like Peach, one test case perturbs a small number of
+// elements — usually one — while the rest keep their model values; that is
+// what lets generation-based fuzzing carry packets past framing and
+// integrity validation (§I). Relations and fixups are re-established on
+// output, with a small probability of being left stale, matching Peach
+// mutators that target integrity fields themselves.
+func (e *Engine) baselineGenerate(m *datamodel.Model) []byte {
+	inst := e.skeleton(m)
+	leaves := inst.Leaves(nil)
+	// Mutate 1..3 leaves, geometrically biased toward 1.
+	k := 1
+	for k < 3 && e.r.Chance(3) {
+		k++
+	}
+	for ; k > 0; k-- {
+		e.mutateLeaf(rng.Pick(e.r, leaves))
+	}
+	if !e.r.Chance(8) {
+		m.ApplyFixups(inst)
+	}
+	return inst.Bytes()
+}
+
+// skeleton picks the structural starting point for generation: the default
+// instance, occasionally a structurally randomized one (random choice
+// alternatives, array counts, field draws), or — once feedback has
+// retained some — a coverage-selected valuable instance of this model
+// ("mutation on existing chunks", §II, guided by §IV-B's feedback).
+func (e *Engine) skeleton(m *datamodel.Model) *datamodel.Node {
+	if q := e.valuable[m.Name]; len(q) > 0 && e.r.Chance(4) {
+		return e.pickValuable(q).Clone()
+	}
+	if e.r.Chance(8) {
+		return m.GenerateRandom(e.r)
+	}
+	return m.Generate()
+}
+
+// mutateLeaf rewrites one leaf's bytes with a randomly selected applicable
+// mutator.
+func (e *Engine) mutateLeaf(leaf *datamodel.Node) {
+	mut := mutator.Pick(e.r, e.muts, leaf.Chunk)
+	if mut == nil {
+		return
+	}
+	leaf.Data = mut.Mutate(e.r, leaf.Chunk, leaf.Data)
+}
+
+// semanticGenerate implements Algorithm 3: construct a batch of seeds for
+// model m by filling each chunk position with donor puzzles from the
+// corpus where available and with the inherent rule otherwise, then apply
+// File Fixup (§IV-D). The donor cartesian product is enumerated up to
+// MaxBatch seeds (the paper's p×q enumeration, bounded).
+func (e *Engine) semanticGenerate(m *datamodel.Model) [][]byte {
+	// Donor recombination starts from a structurally sound base: the
+	// default instance or a coverage-selected valuable one — never the
+	// fully randomized skeleton, whose scrambled framing would waste the
+	// whole batch.
+	skeleton := m.Generate()
+	if q := e.valuable[m.Name]; len(q) > 0 && e.r.Bool() {
+		skeleton = e.pickValuable(q).Clone()
+	}
+	leaves := skeleton.Leaves(nil)
+
+	// Candidate donors per position (GETDONOR, Algorithm 3 line 10).
+	candidates := make([][]corpus.Puzzle, len(leaves))
+	anyDonor := false
+	for i, leaf := range leaves {
+		var donors []corpus.Puzzle
+		if e.cfg.DisableCrossModel {
+			donors = e.corp.Donors(leaf.Chunk)
+		} else {
+			donors = e.corp.CrossModelDonors(leaf.Chunk, m.Name)
+		}
+		candidates[i] = donors
+		if len(donors) > 0 {
+			anyDonor = true
+		}
+	}
+	if !anyDonor {
+		return nil
+	}
+
+	// The donor cartesian product (Algorithm 3's p×q) is materialized
+	// exactly while it stays small; past MaxBatch it is sampled instead.
+	// Unbounded enumeration would flood the execution budget with
+	// near-duplicate packets and starve exploration — the opposite of
+	// the paper's intent of "ruling out meaningless repetitions".
+	product := 1
+	for _, donors := range candidates {
+		n := len(donors)
+		if n == 0 {
+			n = 1 // inherent rule counts as one candidate (§IV-D)
+		}
+		product *= n + 1 // +1: the skeleton's own content
+		if product > e.cfg.MaxBatch {
+			break
+		}
+	}
+	if product <= e.cfg.MaxBatch {
+		return e.enumerateBatch(m, skeleton, leaves, candidates)
+	}
+	return e.sampleBatch(m, skeleton, leaves, candidates)
+}
+
+// enumerateBatch is the literal recursion of Algorithm 3: every candidate
+// combination becomes one seed. The skeleton's own content participates as
+// one candidate per position, so fresh chunks mix with donated ones.
+func (e *Engine) enumerateBatch(m *datamodel.Model, skeleton *datamodel.Node, leaves []*datamodel.Node, candidates [][]corpus.Puzzle) [][]byte {
+	var seeds [][]byte
+	seen := map[string]bool{}
+	var construct func(pos int)
+	construct = func(pos int) {
+		if len(seeds) >= e.cfg.MaxBatch {
+			return
+		}
+		if pos == len(leaves) { // EQUAL(CurPos, Size+1)
+			e.appendSeed(&seeds, seen, m, skeleton)
+			return
+		}
+		leaf := leaves[pos]
+		saved := leaf.Data
+		construct(pos + 1) // skeleton's own content
+		for _, donor := range candidates[pos] {
+			if len(seeds) >= e.cfg.MaxBatch {
+				break
+			}
+			leaf.Data = append([]byte(nil), donor.Data...)
+			construct(pos + 1)
+		}
+		leaf.Data = saved
+	}
+	construct(0)
+	return seeds
+}
+
+// sampleBatch draws sampleBatchSize independent points from the product
+// space: each donor-eligible position takes a random donor with
+// probability 1/2 (occasionally mutated), otherwise keeps the skeleton's
+// content. Batches stay small and diverse.
+const sampleBatchSize = 3
+
+func (e *Engine) sampleBatch(m *datamodel.Model, skeleton *datamodel.Node, leaves []*datamodel.Node, candidates [][]corpus.Puzzle) [][]byte {
+	var seeds [][]byte
+	seen := map[string]bool{}
+	for k := 0; k < sampleBatchSize && len(seeds) < e.cfg.MaxBatch; k++ {
+		saved := make([][]byte, len(leaves))
+		for i, leaf := range leaves {
+			saved[i] = leaf.Data
+			donors := candidates[i]
+			if len(donors) == 0 || e.r.Bool() {
+				continue
+			}
+			leaf.Data = append([]byte(nil), rng.Pick(e.r, donors).Data...)
+			// A light mutation on top of a donor probes the
+			// neighbourhood of known-good content.
+			if e.r.Chance(8) {
+				e.mutateLeaf(leaf)
+			}
+		}
+		e.appendSeed(&seeds, seen, m, skeleton)
+		for i, leaf := range leaves {
+			leaf.Data = saved[i]
+		}
+	}
+	return seeds
+}
+
+// appendSeed finishes the working instance and appends it unless the batch
+// already contains an identical packet.
+func (e *Engine) appendSeed(seeds *[][]byte, seen map[string]bool, m *datamodel.Model, inst *datamodel.Node) {
+	seed := e.finishSeed(m, inst)
+	key := string(seed)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	*seeds = append(*seeds, seed)
+}
+
+// finishSeed renders the working instance to bytes, applying File Fixup
+// unless ablated: donated chunks may have changed sizes, so size-of fields
+// and checksums must be re-established for the packet to stay legal.
+func (e *Engine) finishSeed(m *datamodel.Model, inst *datamodel.Node) []byte {
+	if !e.cfg.DisableFixup {
+		m.ApplyFixups(inst)
+	}
+	return inst.Bytes()
+}

@@ -1,0 +1,149 @@
+// Package corpus stores puzzles — the chunk instantiations produced by
+// cracking valuable seeds (paper §IV-C, Definition 2). Puzzles are indexed
+// by the construction-rule signature of the chunk they instantiated, so the
+// semantic-aware generator (Algorithm 3, GETDONOR) can look up donor
+// material for a chunk of any other data model that conforms to a similar
+// rule (§III's cross-opcode chunk similarity).
+package corpus
+
+import (
+	"sort"
+
+	"repro/internal/datamodel"
+)
+
+// Puzzle is one stored chunk instantiation: the bytes plus provenance.
+type Puzzle struct {
+	// Signature of the construction rule that produced the bytes.
+	Signature string
+	// Data is the wire content of the puzzle.
+	Data []byte
+	// Model names the data model of the seed the puzzle was cracked
+	// from; the generator uses it to prefer cross-model donation.
+	Model string
+}
+
+// Corpus is the puzzle store. It deduplicates exact (signature, bytes)
+// pairs and bounds the number of puzzles kept per signature, evicting the
+// oldest — fresher puzzles come from more recently discovered paths, which
+// is the material Algorithm 3 wants.
+//
+// A Corpus is not safe for concurrent use; the engine owns it.
+type Corpus struct {
+	perSig   int
+	bySig    map[string][]Puzzle
+	seen     map[string]bool // dedup key: signature + "\x00" + data
+	puzzles  int
+	inserted int
+}
+
+// DefaultPerSignature bounds stored puzzles per construction rule. The
+// bound keeps the donor set diverse without letting one hot rule dominate
+// memory; the ablation bench sweeps it.
+const DefaultPerSignature = 64
+
+// New returns an empty corpus keeping at most perSig puzzles per rule
+// signature (0 means DefaultPerSignature).
+func New(perSig int) *Corpus {
+	if perSig <= 0 {
+		perSig = DefaultPerSignature
+	}
+	return &Corpus{
+		perSig: perSig,
+		bySig:  make(map[string][]Puzzle),
+		seen:   make(map[string]bool),
+	}
+}
+
+// Add stores one puzzle, returning true if it was new. Exact duplicates
+// (same rule, same bytes) are dropped — repeated donation of identical
+// content is the "meaningless repetition" the paper wants ruled out.
+func (c *Corpus) Add(p Puzzle) bool {
+	key := p.Signature + "\x00" + string(p.Data)
+	if c.seen[key] {
+		return false
+	}
+	c.seen[key] = true
+	c.inserted++
+	list := c.bySig[p.Signature]
+	if len(list) >= c.perSig {
+		// Evict the oldest; forget its dedup key so equivalent
+		// content can return later if rediscovered.
+		old := list[0]
+		delete(c.seen, old.Signature+"\x00"+string(old.Data))
+		copy(list, list[1:])
+		list = list[:len(list)-1]
+		c.puzzles--
+	}
+	c.bySig[p.Signature] = append(list, p)
+	c.puzzles++
+	return true
+}
+
+// AddNode cracks-and-stores convenience: stores the instantiation of one
+// leaf node under its chunk's rule signature, skipping non-donatable chunks
+// (tokens, relation and fixup fields — their content is recomputed or
+// defines the packet type, so donating them is useless).
+func (c *Corpus) AddNode(model string, n *datamodel.Node) bool {
+	if !datamodel.Donatable(n.Chunk) {
+		return false
+	}
+	data := make([]byte, len(n.Data))
+	copy(data, n.Data)
+	return c.Add(Puzzle{
+		Signature: datamodel.RuleSignature(n.Chunk),
+		Data:      data,
+		Model:     model,
+	})
+}
+
+// Donors returns the stored puzzles whose rule signature matches the chunk
+// — the Candidates set of Algorithm 3 (GETDONOR). The returned slice is
+// shared; callers must not modify the puzzles. Nil when the chunk is not
+// donatable or nothing matches.
+func (c *Corpus) Donors(chunk *datamodel.Chunk) []Puzzle {
+	if !datamodel.Donatable(chunk) {
+		return nil
+	}
+	return c.bySig[datamodel.RuleSignature(chunk)]
+}
+
+// CrossModelDonors returns donors whose provenance differs from the given
+// model — the cross-opcode donation of §IV-D ("a valuable seed with one
+// value of the opcode can be used to optimize seed generation for other
+// values"). Falls back to all donors when no cross-model material exists.
+func (c *Corpus) CrossModelDonors(chunk *datamodel.Chunk, model string) []Puzzle {
+	all := c.Donors(chunk)
+	var cross []Puzzle
+	for _, p := range all {
+		if p.Model != model {
+			cross = append(cross, p)
+		}
+	}
+	if len(cross) > 0 {
+		return cross
+	}
+	return all
+}
+
+// Len returns the number of stored puzzles.
+func (c *Corpus) Len() int { return c.puzzles }
+
+// Inserted returns the total number of accepted Add calls, including
+// puzzles that were later evicted — a campaign statistic.
+func (c *Corpus) Inserted() int { return c.inserted }
+
+// Empty reports whether the corpus holds no puzzles — the engine's signal
+// that the semantic-aware strategy is not yet available (§IV-A: "Initially,
+// the puzzle corpus is vacant").
+func (c *Corpus) Empty() bool { return c.puzzles == 0 }
+
+// Signatures returns the stored rule signatures, sorted, for reports.
+func (c *Corpus) Signatures() []string {
+	out := make([]string, 0, len(c.bySig))
+	for s := range c.bySig {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

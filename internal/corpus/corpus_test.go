@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/datamodel"
+)
+
+func puzzle(sig, data, model string) Puzzle {
+	return Puzzle{Signature: sig, Data: []byte(data), Model: model}
+}
+
+func TestAddAndDonors(t *testing.T) {
+	c := New(0)
+	if !c.Empty() {
+		t.Fatal("new corpus should be empty")
+	}
+	chunk := datamodel.Num("x", 2, 0)
+	sig := datamodel.RuleSignature(chunk)
+	if !c.Add(puzzle(sig, "ab", "m1")) {
+		t.Fatal("first add should succeed")
+	}
+	if c.Add(puzzle(sig, "ab", "m1")) {
+		t.Fatal("exact duplicate should be rejected")
+	}
+	donors := c.Donors(chunk)
+	if len(donors) != 1 || !bytes.Equal(donors[0].Data, []byte("ab")) {
+		t.Fatalf("donors = %+v", donors)
+	}
+	if c.Len() != 1 || c.Empty() {
+		t.Fatal("corpus bookkeeping wrong")
+	}
+}
+
+func TestDonorsRespectSignature(t *testing.T) {
+	c := New(0)
+	c.Add(puzzle(datamodel.RuleSignature(datamodel.Num("addr", 2, 0)), "xy", "m"))
+	other := datamodel.Num("addr", 4, 0) // different width => different rule
+	if len(c.Donors(other)) != 0 {
+		t.Fatal("width-4 chunk must not receive width-2 donors")
+	}
+	role := datamodel.Num("version", 2, 0) // same shape, different role
+	if len(c.Donors(role)) != 0 {
+		t.Fatal("different-role number must not receive donors")
+	}
+	same := datamodel.Num("addr", 2, 99) // same rule in another model
+	if len(c.Donors(same)) != 1 {
+		t.Fatal("same-rule chunk should receive donors")
+	}
+}
+
+func TestNonDonatableChunks(t *testing.T) {
+	c := New(0)
+	tok := datamodel.Num("op", 1, 3).AsToken()
+	if c.Donors(tok) != nil {
+		t.Fatal("tokens receive no donors")
+	}
+	n := &datamodel.Node{Chunk: tok, Data: []byte{3}}
+	if c.AddNode("m", n) {
+		t.Fatal("token instantiations are not stored")
+	}
+	rel := datamodel.Num("len", 2, 0).WithRel(datamodel.SizeOf, "op", 0)
+	if c.AddNode("m", &datamodel.Node{Chunk: rel, Data: []byte{0, 2}}) {
+		t.Fatal("relation fields are not stored")
+	}
+}
+
+func TestCrossModelPreference(t *testing.T) {
+	c := New(0)
+	chunk := datamodel.Num("x", 2, 0)
+	sig := datamodel.RuleSignature(chunk)
+	c.Add(puzzle(sig, "aa", "m1"))
+	c.Add(puzzle(sig, "bb", "m2"))
+	cross := c.CrossModelDonors(chunk, "m1")
+	if len(cross) != 1 || cross[0].Model != "m2" {
+		t.Fatalf("cross donors = %+v", cross)
+	}
+	// When only same-model donors exist, fall back to them.
+	fallback := c.CrossModelDonors(chunk, "m2")
+	if len(fallback) != 1 || fallback[0].Model != "m1" {
+		t.Fatalf("fallback donors = %+v", fallback)
+	}
+	only := New(0)
+	only.Add(puzzle(sig, "cc", "m1"))
+	fb := only.CrossModelDonors(chunk, "m1")
+	if len(fb) != 1 {
+		t.Fatal("same-model fallback missing")
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	c := New(4)
+	chunk := datamodel.Num("x", 2, 0)
+	sig := datamodel.RuleSignature(chunk)
+	for i := 0; i < 10; i++ {
+		c.Add(puzzle(sig, fmt.Sprintf("%02d", i), "m"))
+	}
+	donors := c.Donors(chunk)
+	if len(donors) != 4 {
+		t.Fatalf("kept %d donors, want 4", len(donors))
+	}
+	// Oldest evicted: survivors are 06..09.
+	if string(donors[0].Data) != "06" || string(donors[3].Data) != "09" {
+		t.Fatalf("eviction order wrong: %s..%s", donors[0].Data, donors[3].Data)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Inserted() != 10 {
+		t.Fatalf("Inserted = %d", c.Inserted())
+	}
+	// An evicted puzzle may be re-added (its dedup key was forgotten).
+	if !c.Add(puzzle(sig, "00", "m")) {
+		t.Fatal("evicted puzzle should be re-addable")
+	}
+}
+
+func TestAddNodeCopiesData(t *testing.T) {
+	c := New(0)
+	chunk := datamodel.Bytes("b", 2, nil)
+	data := []byte{1, 2}
+	n := &datamodel.Node{Chunk: chunk, Data: data}
+	c.AddNode("m", n)
+	data[0] = 99
+	if c.Donors(chunk)[0].Data[0] == 99 {
+		t.Fatal("corpus aliases caller memory")
+	}
+}
+
+func TestSignaturesSorted(t *testing.T) {
+	c := New(0)
+	c.Add(puzzle("zz", "1", "m"))
+	c.Add(puzzle("aa", "2", "m"))
+	sigs := c.Signatures()
+	if len(sigs) != 2 || sigs[0] != "aa" || sigs[1] != "zz" {
+		t.Fatalf("signatures = %v", sigs)
+	}
+}

@@ -1,0 +1,192 @@
+// Package coverage implements the AFL-style edge-coverage substrate that
+// Peach* layers on top of generation-based fuzzing (paper §IV-B).
+//
+// The paper instruments branch points of the target protocol program with
+//
+//	cur_location = <COMPILE_TIME_RANDOM>;
+//	shared_mem[cur_location ^ prev_location]++;
+//	prev_location = cur_location >> 1;
+//
+// This package reproduces that scheme exactly. Targets in this repository are
+// Go reimplementations of the C libraries the paper fuzzes, so instead of an
+// LLVM pass the instrumentation is an explicit call, Tracer.Hit, placed at
+// branch points. Block identifiers play the role of the compile-time random
+// values; they are drawn from a deterministic per-site generator (see
+// Region) so that runs are reproducible.
+package coverage
+
+// MapSize is the size of the shared coverage byte map. AFL and the paper's
+// prototype both use a 64 KiB map, which keeps collision rates low for
+// programs up to a few tens of thousands of branch points.
+const MapSize = 1 << 16
+
+// BlockID identifies an instrumented basic block. It stands in for the
+// compile-time random value in the paper's instrumentation snippet.
+type BlockID uint16
+
+// Tracer records edge coverage for a single execution of a target. It is the
+// shared_mem[] region plus the prev_location register from the paper.
+//
+// A Tracer is not safe for concurrent use; each fuzzing worker owns one.
+type Tracer struct {
+	buf  [MapSize]byte
+	prev BlockID
+}
+
+// NewTracer returns a tracer with an empty coverage map.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Hit records entry into basic block cur, updating the edge counter for the
+// transition prev -> cur. This is a verbatim transcription of the paper's
+// instrumentation stub.
+func (t *Tracer) Hit(cur BlockID) {
+	t.buf[uint16(cur)^uint16(t.prev)]++
+	t.prev = cur >> 1
+}
+
+// Reset clears the map and the previous-location register, preparing the
+// tracer for the next execution.
+func (t *Tracer) Reset() {
+	t.buf = [MapSize]byte{}
+	t.prev = 0
+}
+
+// ResetEdge clears only the previous-location register. Targets call this at
+// the top of a packet-handling entry point so that edges do not leak across
+// independent packets when the map itself is being accumulated.
+func (t *Tracer) ResetEdge() { t.prev = 0 }
+
+// Snapshot copies the current coverage map. The copy is bucketed lazily by
+// the consumer; raw hit counts are preserved here.
+func (t *Tracer) Snapshot() []byte {
+	out := make([]byte, MapSize)
+	copy(out, t.buf[:])
+	return out
+}
+
+// Raw exposes the live map for zero-copy consumers such as Virgin.Merge.
+// Callers must not retain the slice across Reset.
+func (t *Tracer) Raw() []byte { return t.buf[:] }
+
+// CountEdges returns the number of distinct edges (non-zero bytes) in the
+// current map.
+func (t *Tracer) CountEdges() int {
+	n := 0
+	for _, b := range t.buf {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// bucket maps a raw hit count to one of AFL's eight count buckets. Two
+// executions are considered to reach the same program state when every edge
+// falls in the same bucket; this is the standard reading of the paper's "new
+// program execution state that has not appeared before".
+func bucket(c byte) byte {
+	switch {
+	case c == 0:
+		return 0
+	case c == 1:
+		return 1
+	case c == 2:
+		return 2
+	case c == 3:
+		return 4
+	case c <= 7:
+		return 8
+	case c <= 15:
+		return 16
+	case c <= 31:
+		return 32
+	case c <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// Classify rewrites a raw coverage map in place into bucketed form.
+func Classify(m []byte) {
+	for i, c := range m {
+		m[i] = bucket(c)
+	}
+}
+
+// Virgin tracks which bucketed edge states have ever been observed across a
+// fuzzing campaign. It answers the valuable-seed question of §IV-B: did this
+// execution light any bit that has never been lit before?
+type Virgin struct {
+	seen  [MapSize]byte // OR of all bucketed maps observed so far
+	edges int           // distinct edges with any bucket seen
+}
+
+// NewVirgin returns an empty campaign-coverage accumulator.
+func NewVirgin() *Virgin { return &Virgin{} }
+
+// Merge folds one execution's raw map into the accumulator. It returns true
+// if the execution is "valuable": it produced at least one (edge, bucket)
+// pair never seen before. The input map is read, not modified.
+func (v *Virgin) Merge(raw []byte) bool {
+	valuable := false
+	for i, c := range raw {
+		if c == 0 {
+			continue
+		}
+		b := bucket(c)
+		if v.seen[i]&b == 0 {
+			if v.seen[i] == 0 {
+				v.edges++
+			}
+			v.seen[i] |= b
+			valuable = true
+		}
+	}
+	return valuable
+}
+
+// WouldMerge reports whether Merge would return true, without mutating the
+// accumulator. Used by tests and by the harness to probe coverage levels.
+func (v *Virgin) WouldMerge(raw []byte) bool {
+	for i, c := range raw {
+		if c == 0 {
+			continue
+		}
+		if v.seen[i]&bucket(c) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns the number of distinct edges observed so far, a coarse
+// campaign-level coverage measure used by the speed-to-coverage experiment.
+func (v *Virgin) Edges() int { return v.edges }
+
+// Reset clears the accumulator.
+func (v *Virgin) Reset() {
+	v.seen = [MapSize]byte{}
+	v.edges = 0
+}
+
+// Hash returns a 64-bit FNV-1a hash of the bucketed form of a raw map. Two
+// inputs with equal hashes exercised the same bucketed edge set; the crash
+// triager uses this as a cheap execution-path signature.
+func Hash(raw []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i, c := range raw {
+		if c == 0 {
+			continue
+		}
+		h ^= uint64(i)
+		h *= prime
+		h ^= uint64(bucket(c))
+		h *= prime
+	}
+	return h
+}

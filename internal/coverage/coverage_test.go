@@ -1,0 +1,256 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitUpdatesEdgeCounter(t *testing.T) {
+	tr := NewTracer()
+	tr.Hit(0x1234)
+	// prev starts at 0, so the first edge index is 0x1234 ^ 0.
+	if got := tr.Raw()[0x1234]; got != 1 {
+		t.Fatalf("edge counter = %d, want 1", got)
+	}
+	// prev should now be 0x1234 >> 1.
+	tr.Hit(0x1234)
+	idx := 0x1234 ^ (0x1234 >> 1)
+	if got := tr.Raw()[idx]; got != 1 {
+		t.Fatalf("second edge counter = %d, want 1", got)
+	}
+}
+
+func TestHitMatchesPaperScheme(t *testing.T) {
+	// Replay a block sequence and check against a direct transcription of
+	// the paper's snippet.
+	seq := []BlockID{10, 20, 10, 30, 30, 20}
+	var want [MapSize]byte
+	var prev BlockID
+	for _, cur := range seq {
+		want[uint16(cur)^uint16(prev)]++
+		prev = cur >> 1
+	}
+	tr := NewTracer()
+	for _, cur := range seq {
+		tr.Hit(cur)
+	}
+	for i := range want {
+		if tr.Raw()[i] != want[i] {
+			t.Fatalf("map[%d] = %d, want %d", i, tr.Raw()[i], want[i])
+		}
+	}
+}
+
+func TestResetClearsMapAndPrev(t *testing.T) {
+	tr := NewTracer()
+	tr.Hit(7)
+	tr.Hit(9)
+	tr.Reset()
+	if tr.CountEdges() != 0 {
+		t.Fatalf("edges after reset = %d, want 0", tr.CountEdges())
+	}
+	tr.Hit(7)
+	if tr.Raw()[7] != 1 {
+		t.Fatal("prev register not cleared by Reset")
+	}
+}
+
+func TestResetEdgeOnlyClearsPrev(t *testing.T) {
+	tr := NewTracer()
+	tr.Hit(7)
+	tr.ResetEdge()
+	tr.Hit(7)
+	if tr.Raw()[7] != 2 {
+		t.Fatalf("map[7] = %d, want 2 (accumulated across ResetEdge)", tr.Raw()[7])
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct{ in, want byte }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 8}, {7, 8}, {8, 16},
+		{15, 16}, {16, 32}, {31, 32}, {32, 64}, {127, 64}, {128, 128}, {255, 128},
+	}
+	for _, c := range cases {
+		if got := bucket(c.in); got != c.want {
+			t.Errorf("bucket(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVirginMergeDetectsNewEdges(t *testing.T) {
+	v := NewVirgin()
+	m := make([]byte, MapSize)
+	m[100] = 1
+	if !v.Merge(m) {
+		t.Fatal("first merge should be valuable")
+	}
+	if v.Merge(m) {
+		t.Fatal("identical map should not be valuable twice")
+	}
+	if v.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", v.Edges())
+	}
+}
+
+func TestVirginMergeDetectsNewBuckets(t *testing.T) {
+	v := NewVirgin()
+	m := make([]byte, MapSize)
+	m[100] = 1
+	v.Merge(m)
+	m[100] = 2 // different bucket, same edge
+	if !v.Merge(m) {
+		t.Fatal("new hit-count bucket on a known edge should be valuable")
+	}
+	if v.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1 (same edge)", v.Edges())
+	}
+	m[100] = 3 // bucket 4, new again
+	if !v.Merge(m) {
+		t.Fatal("bucket 4 should be new")
+	}
+	m[100] = 2 // bucket 2 already seen
+	if v.Merge(m) {
+		t.Fatal("bucket 2 was already recorded")
+	}
+}
+
+func TestWouldMergeDoesNotMutate(t *testing.T) {
+	v := NewVirgin()
+	m := make([]byte, MapSize)
+	m[5] = 1
+	if !v.WouldMerge(m) {
+		t.Fatal("WouldMerge should report true for a fresh edge")
+	}
+	if !v.WouldMerge(m) {
+		t.Fatal("WouldMerge must not record anything")
+	}
+	if v.Edges() != 0 {
+		t.Fatal("WouldMerge mutated the accumulator")
+	}
+}
+
+func TestHashDistinguishesBuckets(t *testing.T) {
+	a := make([]byte, MapSize)
+	b := make([]byte, MapSize)
+	a[9] = 1
+	b[9] = 3
+	if Hash(a) == Hash(b) {
+		t.Fatal("different buckets should hash differently")
+	}
+	b[9] = 1
+	if Hash(a) != Hash(b) {
+		t.Fatal("equal maps should hash equally")
+	}
+	// Same bucket, different raw count: hashes must agree.
+	b[9] = 2
+	a[9] = 2
+	if Hash(a) != Hash(b) {
+		t.Fatal("same map, same hash")
+	}
+}
+
+func TestHashBucketInsensitiveWithinBucket(t *testing.T) {
+	a := make([]byte, MapSize)
+	b := make([]byte, MapSize)
+	a[42] = 4
+	b[42] = 7 // both bucket 8
+	if Hash(a) != Hash(b) {
+		t.Fatal("raw counts in the same bucket must hash equally")
+	}
+}
+
+func TestClassifyInPlace(t *testing.T) {
+	m := make([]byte, MapSize)
+	m[0] = 5
+	m[1] = 200
+	Classify(m)
+	if m[0] != 8 || m[1] != 128 {
+		t.Fatalf("Classify gave %d,%d want 8,128", m[0], m[1])
+	}
+}
+
+func TestRegionDeterminism(t *testing.T) {
+	a := Blocks("modbus", 16)
+	b := Blocks("modbus", 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("region stream not deterministic at %d", i)
+		}
+	}
+	c := Blocks("dnp3", 16)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("distinct regions produced identical streams")
+	}
+}
+
+func TestBlockMatchesBlocks(t *testing.T) {
+	ids := Blocks("x", 8)
+	for i, want := range ids {
+		if got := Block("x", i); got != want {
+			t.Fatalf("Block(x,%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRegionSpread(t *testing.T) {
+	// IDs from one region should not collide excessively in a 16-bit space.
+	ids := Blocks("spread-test", 512)
+	seen := map[BlockID]bool{}
+	dups := 0
+	for _, id := range ids {
+		if seen[id] {
+			dups++
+		}
+		seen[id] = true
+	}
+	if dups > 8 { // birthday bound for 512 in 65536 is ~2
+		t.Fatalf("too many duplicate block IDs: %d", dups)
+	}
+}
+
+func TestVirginMergeProperty(t *testing.T) {
+	// Property: after Merge(m) returns, WouldMerge(m) is false.
+	f := func(idxs []uint16, vals []byte) bool {
+		v := NewVirgin()
+		m := make([]byte, MapSize)
+		for i, ix := range idxs {
+			if i < len(vals) {
+				m[ix] = vals[i]
+			}
+		}
+		v.Merge(m)
+		return !v.WouldMerge(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMonotonicEdges(t *testing.T) {
+	// Property: Edges never decreases across merges.
+	f := func(seqs [][]uint16) bool {
+		v := NewVirgin()
+		prev := 0
+		for _, s := range seqs {
+			m := make([]byte, MapSize)
+			for _, ix := range s {
+				m[ix]++
+			}
+			v.Merge(m)
+			if v.Edges() < prev {
+				return false
+			}
+			prev = v.Edges()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

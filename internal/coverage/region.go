@@ -1,0 +1,59 @@
+package coverage
+
+// Region hands out deterministic BlockIDs for one instrumented source region
+// (typically one target package or one function group). The paper's LLVM pass
+// assigns each basic block a compile-time random value; Region reproduces the
+// statistical effect — IDs spread across the map — while staying deterministic
+// so that experiments are reproducible run to run.
+//
+// IDs are derived from a splitmix64 stream seeded by the region name, which
+// gives a good spread over the 16-bit ID space without coordination between
+// target packages.
+type Region struct {
+	state uint64
+}
+
+// NewRegion returns an ID generator for the named region.
+func NewRegion(name string) *Region {
+	// FNV-1a over the name seeds the stream.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &Region{state: h}
+}
+
+// Next returns the next block ID in the region's deterministic stream.
+func (r *Region) Next() BlockID {
+	// splitmix64 step.
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return BlockID(z)
+}
+
+// Block returns a stable ID for block index i of the named region, without
+// constructing a Region. Useful for table-driven instrumentation.
+func Block(name string, i int) BlockID {
+	r := NewRegion(name)
+	var id BlockID
+	for j := 0; j <= i; j++ {
+		id = r.Next()
+	}
+	return id
+}
+
+// Blocks pre-computes n block IDs for the named region. Target packages call
+// this once at init time and index the slice at branch points, keeping the
+// instrumentation overhead to one slice load per hit.
+func Blocks(name string, n int) []BlockID {
+	r := NewRegion(name)
+	out := make([]BlockID, n)
+	for i := range out {
+		out[i] = r.Next()
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package crash collects and deduplicates the crashes and hangs a fuzzing
+// campaign finds, producing the per-project vulnerability counts of the
+// paper's Table I.
+//
+// Deduplication follows the paper's reporting: Table I counts *unique*
+// vulnerabilities, identified by where the fault fired and what kind it was
+// (an ASan report site), not by how many inputs reached it.
+package crash
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Record is one unique fault: its identity, an example triggering packet,
+// and campaign statistics.
+type Record struct {
+	Kind      mem.FaultKind
+	Site      string
+	Example   []byte // first packet observed to trigger the fault
+	Count     int    // number of triggering executions
+	FirstExec int    // execution index of first trigger
+	PathSig   uint64 // coverage signature of the first triggering run
+}
+
+// Key returns the deduplication identity of a fault.
+func Key(f *mem.Fault) string {
+	return string(f.Kind) + "@" + f.Site
+}
+
+// Bank accumulates unique crash records across a campaign. Not safe for
+// concurrent use; the engine owns it.
+type Bank struct {
+	byKey map[string]*Record
+	hangs int
+}
+
+// NewBank returns an empty crash bank.
+func NewBank() *Bank {
+	return &Bank{byKey: make(map[string]*Record)}
+}
+
+// Report records one crashing execution. It returns true when the fault is
+// new (a previously unseen unique vulnerability).
+func (b *Bank) Report(f *mem.Fault, packet []byte, execIndex int, pathSig uint64) bool {
+	k := Key(f)
+	if r, ok := b.byKey[k]; ok {
+		r.Count++
+		return false
+	}
+	ex := make([]byte, len(packet))
+	copy(ex, packet)
+	b.byKey[k] = &Record{
+		Kind:      f.Kind,
+		Site:      f.Site,
+		Example:   ex,
+		Count:     1,
+		FirstExec: execIndex,
+		PathSig:   pathSig,
+	}
+	return true
+}
+
+// ReportHang counts a hanging execution. Hangs are tallied but not treated
+// as unique vulnerabilities (the paper's Table I lists memory faults only).
+func (b *Bank) ReportHang() { b.hangs++ }
+
+// Unique returns the number of unique faults found.
+func (b *Bank) Unique() int { return len(b.byKey) }
+
+// Hangs returns the number of hanging executions observed.
+func (b *Bank) Hangs() int { return b.hangs }
+
+// Records returns all unique faults, ordered by first discovery.
+func (b *Bank) Records() []*Record {
+	out := make([]*Record, 0, len(b.byKey))
+	for _, r := range b.byKey {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstExec < out[j].FirstExec })
+	return out
+}
+
+// CountByKind tallies unique faults per kind — the "Vulnerability Type /
+// Number" columns of Table I.
+func (b *Bank) CountByKind() map[mem.FaultKind]int {
+	out := map[mem.FaultKind]int{}
+	for _, r := range b.byKey {
+		out[r.Kind]++
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (b *Bank) String() string {
+	return fmt.Sprintf("crash.Bank{unique=%d hangs=%d}", b.Unique(), b.hangs)
+}

@@ -1,0 +1,81 @@
+package crash
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestReportDedups(t *testing.T) {
+	b := NewBank()
+	f := &mem.Fault{Kind: mem.SEGV, Site: "cs101.getCOT"}
+	if !b.Report(f, []byte{1}, 10, 111) {
+		t.Fatal("first report should be new")
+	}
+	if b.Report(f, []byte{2}, 20, 222) {
+		t.Fatal("same site+kind should dedup")
+	}
+	if b.Unique() != 1 {
+		t.Fatalf("unique = %d", b.Unique())
+	}
+	r := b.Records()[0]
+	if r.Count != 2 || r.FirstExec != 10 || r.Example[0] != 1 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestDifferentKindSameSiteIsDistinct(t *testing.T) {
+	b := NewBank()
+	b.Report(&mem.Fault{Kind: mem.SEGV, Site: "x"}, nil, 1, 0)
+	b.Report(&mem.Fault{Kind: mem.HeapUseAfterFree, Site: "x"}, nil, 2, 0)
+	if b.Unique() != 2 {
+		t.Fatalf("unique = %d, want 2", b.Unique())
+	}
+}
+
+func TestRecordsOrderedByDiscovery(t *testing.T) {
+	b := NewBank()
+	b.Report(&mem.Fault{Kind: mem.SEGV, Site: "later"}, nil, 50, 0)
+	b.Report(&mem.Fault{Kind: mem.SEGV, Site: "earlier"}, nil, 5, 0)
+	recs := b.Records()
+	if recs[0].Site != "earlier" || recs[1].Site != "later" {
+		t.Fatal("records not ordered by first discovery")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	b := NewBank()
+	b.Report(&mem.Fault{Kind: mem.SEGV, Site: "a"}, nil, 1, 0)
+	b.Report(&mem.Fault{Kind: mem.SEGV, Site: "b"}, nil, 2, 0)
+	b.Report(&mem.Fault{Kind: mem.HeapBufferOverflow, Site: "c"}, nil, 3, 0)
+	counts := b.CountByKind()
+	if counts[mem.SEGV] != 2 || counts[mem.HeapBufferOverflow] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestHangsCounted(t *testing.T) {
+	b := NewBank()
+	b.ReportHang()
+	b.ReportHang()
+	if b.Hangs() != 2 || b.Unique() != 0 {
+		t.Fatalf("hangs = %d unique = %d", b.Hangs(), b.Unique())
+	}
+}
+
+func TestExampleCopied(t *testing.T) {
+	b := NewBank()
+	pkt := []byte{1, 2, 3}
+	b.Report(&mem.Fault{Kind: mem.SEGV, Site: "s"}, pkt, 1, 0)
+	pkt[0] = 99
+	if b.Records()[0].Example[0] == 99 {
+		t.Fatal("bank aliases caller packet")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	b := NewBank()
+	if b.String() != "crash.Bank{unique=0 hangs=0}" {
+		t.Fatalf("summary = %q", b.String())
+	}
+}

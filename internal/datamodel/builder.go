@@ -1,0 +1,87 @@
+package datamodel
+
+// Builder helpers. Target packages define their Pit-equivalent data models
+// in Go; these constructors keep those definitions close to how a Pit file
+// reads (cf. Fig. 1) while staying type-checked.
+
+// Num returns a big-endian Number chunk of the given byte width.
+func Num(name string, width int, def uint64) *Chunk {
+	return &Chunk{Name: name, Kind: Number, Width: width, Default: def, Endian: Big}
+}
+
+// NumLE returns a little-endian Number chunk.
+func NumLE(name string, width int, def uint64) *Chunk {
+	return &Chunk{Name: name, Kind: Number, Width: width, Default: def, Endian: Little}
+}
+
+// Token marks a Number as the packet-type identifier (function code /
+// opcode, §III) and returns it.
+func (c *Chunk) AsToken() *Chunk {
+	c.Token = true
+	return c
+}
+
+// WithLegal restricts the Number to the given legal values.
+func (c *Chunk) WithLegal(vals ...uint64) *Chunk {
+	c.Legal = vals
+	return c
+}
+
+// WithRel attaches a relation to the Number.
+func (c *Chunk) WithRel(kind RelKind, of string, adjust int) *Chunk {
+	c.Rel = &Relation{Kind: kind, Of: of, Adjust: adjust}
+	return c
+}
+
+// WithFix attaches a checksum fixup.
+func (c *Chunk) WithFix(kind FixKind, over ...string) *Chunk {
+	c.Fix = &Fixup{Kind: kind, Over: over}
+	return c
+}
+
+// Str returns a fixed-size String chunk.
+func Str(name string, size int, def string) *Chunk {
+	return &Chunk{Name: name, Kind: String, Size: size, DefaultBytes: []byte(def)}
+}
+
+// StrVar returns a variable-size String chunk bounded by [min, max].
+func StrVar(name string, min, max int, def string) *Chunk {
+	return &Chunk{Name: name, Kind: String, Size: Variable, MinSize: min, MaxSize: max, DefaultBytes: []byte(def)}
+}
+
+// Bytes returns a fixed-size Blob chunk.
+func Bytes(name string, size int, def []byte) *Chunk {
+	return &Chunk{Name: name, Kind: Blob, Size: size, DefaultBytes: def}
+}
+
+// BytesVar returns a variable-size Blob chunk bounded by [min, max].
+func BytesVar(name string, min, max int, def []byte) *Chunk {
+	return &Chunk{Name: name, Kind: Blob, Size: Variable, MinSize: min, MaxSize: max, DefaultBytes: def}
+}
+
+// Blk returns a Block over the given children.
+func Blk(name string, children ...*Chunk) *Chunk {
+	return &Chunk{Name: name, Kind: Block, Children: children}
+}
+
+// Alt returns a Choice over the given alternatives.
+func Alt(name string, alternatives ...*Chunk) *Chunk {
+	return &Chunk{Name: name, Kind: Choice, Children: alternatives}
+}
+
+// Rep returns an Array repeating the element prototype, bounded by maxCount
+// during generation (0 = default bound).
+func Rep(name string, element *Chunk, maxCount int) *Chunk {
+	return &Chunk{Name: name, Kind: Array, Children: []*Chunk{element}, MaxCount: maxCount}
+}
+
+// NewModel assembles and validates a model, panicking on a malformed
+// definition — model definitions are compile-time constants of the target
+// packages, so a defect is a programming error.
+func NewModel(name string, fields ...*Chunk) *Model {
+	m := &Model{Name: name, Fields: fields}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}

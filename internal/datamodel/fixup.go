@@ -1,0 +1,218 @@
+package datamodel
+
+import "hash/crc32"
+
+// ApplyFixups re-establishes the model's integrity constraints on an
+// instance tree, in place: size-of/count-of/offset-of relations first
+// (iterated to a fixpoint, since a size field's width never changes but
+// nested variable regions can shift offsets), then checksum fixups over the
+// final bytes. This is the File Fixup module of §IV-D; the paper notes it
+// reuses Peach's Fixup and Relation machinery directly, which is what this
+// method is.
+func (m *Model) ApplyFixups(root *Node) {
+	// Relations. Two passes suffice: sizes and counts depend only on
+	// subtree shapes, which relations do not change; offsets depend on
+	// sizes. A second pass settles offset fields that precede the sized
+	// regions they reference.
+	for pass := 0; pass < 2; pass++ {
+		applyRelations(root, root)
+	}
+	// Fixups last: checksums cover final bytes.
+	applyChecksums(root, root)
+}
+
+// applyRelations walks the subtree, resolving each Number relation against
+// the full instance tree.
+func applyRelations(root, n *Node) {
+	if n.Chunk.Rel != nil && n.Chunk.Kind == Number {
+		target := root.Find(n.Chunk.Rel.Of)
+		if target != nil {
+			var v int
+			switch n.Chunk.Rel.Kind {
+			case SizeOf:
+				v = target.Len()
+			case CountOf:
+				v = len(target.Children)
+			case OffsetOf:
+				v = offsetOf(root, target)
+			}
+			v += n.Chunk.Rel.Adjust
+			if v < 0 {
+				v = 0
+			}
+			n.SetUint(uint64(v) & widthMask(n.Chunk.Width))
+		}
+	}
+	for _, c := range n.Children {
+		applyRelations(root, c)
+	}
+}
+
+// offsetOf returns the byte offset of target within root's serialization,
+// or 0 if target is not in the tree.
+func offsetOf(root, target *Node) int {
+	off, found := 0, false
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if found || n == target {
+			found = true
+			return
+		}
+		if n.IsLeaf() {
+			off += len(n.Data)
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+			if found {
+				return
+			}
+		}
+	}
+	rec(root)
+	if !found {
+		return 0
+	}
+	return off
+}
+
+// applyChecksums computes each fixup field from the serialized bytes of the
+// chunks it covers.
+func applyChecksums(root, n *Node) {
+	for _, c := range n.Children {
+		applyChecksums(root, c)
+	}
+	if n.Chunk.Fix == nil {
+		return
+	}
+	var covered []byte
+	for _, name := range n.Chunk.Fix.Over {
+		if t := root.Find(name); t != nil {
+			covered = append(covered, t.Bytes()...)
+		}
+	}
+	sum := Checksum(n.Chunk.Fix.Kind, covered)
+	switch n.Chunk.Kind {
+	case Number:
+		n.SetUint(sum & widthMask(n.Chunk.Width))
+	case Blob:
+		n.Data = encodeUint(sum, len(n.Data), Big)
+	}
+}
+
+// Checksum computes the named checksum over data, returning it as an
+// integer in the low-order bits.
+func Checksum(kind FixKind, data []byte) uint64 {
+	switch kind {
+	case CRC32IEEE:
+		return uint64(crc32.ChecksumIEEE(data))
+	case CRC16Modbus:
+		return uint64(CRC16ModbusSum(data))
+	case CRC16DNP:
+		return uint64(CRC16DNPSum(data))
+	case Sum8:
+		var s byte
+		for _, b := range data {
+			s += b
+		}
+		return uint64(s)
+	case LRC:
+		var s byte
+		for _, b := range data {
+			s += b
+		}
+		return uint64(byte(-int8(s)))
+	default:
+		return 0
+	}
+}
+
+// CRC16ModbusSum computes the Modbus RTU CRC: polynomial 0x8005 reflected
+// (0xA001), initial value 0xFFFF, no final XOR. The Modbus spec transmits
+// it little-endian.
+func CRC16ModbusSum(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xA001
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// CRC16DNPSum computes the DNP3 data-link CRC: polynomial 0x3D65 reflected
+// (0xA6BC), initial value 0, complemented output. DNP3 transmits it
+// little-endian after each data block.
+func CRC16DNPSum(data []byte) uint16 {
+	crc := uint16(0)
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xA6BC
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// VerifyFixups reports whether every fixup field in the instance currently
+// matches the checksum of the bytes it covers, and whether every size/count
+// relation holds. Crackers use it to reject corrupt packets; tests use it
+// to state the fixup invariant.
+func (m *Model) VerifyFixups(root *Node) bool {
+	ok := true
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Chunk.Rel != nil && n.Chunk.Kind == Number {
+			if t := root.Find(n.Chunk.Rel.Of); t != nil {
+				var v int
+				switch n.Chunk.Rel.Kind {
+				case SizeOf:
+					v = t.Len()
+				case CountOf:
+					v = len(t.Children)
+				case OffsetOf:
+					v = offsetOf(root, t)
+				}
+				v += n.Chunk.Rel.Adjust
+				if v < 0 {
+					v = 0
+				}
+				if n.Uint() != uint64(v)&widthMask(n.Chunk.Width) {
+					ok = false
+				}
+			}
+		}
+		if n.Chunk.Fix != nil {
+			var covered []byte
+			for _, name := range n.Chunk.Fix.Over {
+				if t := root.Find(name); t != nil {
+					covered = append(covered, t.Bytes()...)
+				}
+			}
+			want := Checksum(n.Chunk.Fix.Kind, covered)
+			var got uint64
+			if n.Chunk.Kind == Number {
+				got = n.Uint()
+			} else {
+				got = decodeUint(n.Data, Big)
+			}
+			if got != want&widthMask(len(n.Data)) {
+				ok = false
+			}
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(root)
+	return ok
+}

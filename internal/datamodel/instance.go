@@ -1,0 +1,161 @@
+package datamodel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Node is one node of an instantiation tree (Definition 1): the same shape
+// as the model tree, but with leaves carrying realistic data bytes instead
+// of construction rules.
+type Node struct {
+	Chunk    *Chunk
+	Data     []byte  // leaf payload (Number: Width bytes in wire order)
+	Children []*Node // interior node children
+}
+
+// IsLeaf reports whether the node carries data directly.
+func (n *Node) IsLeaf() bool {
+	k := n.Chunk.Kind
+	return k == Number || k == String || k == Blob
+}
+
+// Bytes renders the subtree to wire bytes by in-order concatenation of leaf
+// data — the JOINT operation of Algorithms 1 and 2.
+func (n *Node) Bytes() []byte {
+	if n.IsLeaf() {
+		out := make([]byte, len(n.Data))
+		copy(out, n.Data)
+		return out
+	}
+	var out []byte
+	for _, c := range n.Children {
+		out = append(out, c.Bytes()...)
+	}
+	return out
+}
+
+// Len returns the serialized byte length of the subtree without allocating
+// the bytes.
+func (n *Node) Len() int {
+	if n.IsLeaf() {
+		return len(n.Data)
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.Len()
+	}
+	return total
+}
+
+// Clone deep-copies the subtree.
+func (n *Node) Clone() *Node {
+	out := &Node{Chunk: n.Chunk}
+	if n.Data != nil {
+		out.Data = make([]byte, len(n.Data))
+		copy(out.Data, n.Data)
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Find returns the first node in document order whose chunk has the given
+// name, or nil.
+func (n *Node) Find(name string) *Node {
+	if n.Chunk.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Uint decodes a Number leaf's data according to its width and endianness.
+// It panics on non-Number nodes (a programming error, not a data error).
+func (n *Node) Uint() uint64 {
+	if n.Chunk.Kind != Number {
+		panic(fmt.Sprintf("datamodel: Uint on %s node %q", n.Chunk.Kind, n.Chunk.Name))
+	}
+	return decodeUint(n.Data, n.Chunk.Endian)
+}
+
+// SetUint encodes v into the Number leaf's data.
+func (n *Node) SetUint(v uint64) {
+	if n.Chunk.Kind != Number {
+		panic(fmt.Sprintf("datamodel: SetUint on %s node %q", n.Chunk.Kind, n.Chunk.Name))
+	}
+	n.Data = encodeUint(v, n.Chunk.Width, n.Chunk.Endian)
+}
+
+// Leaves appends all leaf nodes in document order to dst and returns it.
+func (n *Node) Leaves(dst []*Node) []*Node {
+	if n.IsLeaf() {
+		return append(dst, n)
+	}
+	for _, c := range n.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// String renders a compact single-line description of the subtree, intended
+// for debugging and crash reports.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.describe(&b)
+	return b.String()
+}
+
+func (n *Node) describe(b *strings.Builder) {
+	if n.IsLeaf() {
+		if n.Chunk.Kind == Number {
+			fmt.Fprintf(b, "%s=%d", n.Chunk.Name, n.Uint())
+		} else {
+			fmt.Fprintf(b, "%s=%x", n.Chunk.Name, n.Data)
+		}
+		return
+	}
+	fmt.Fprintf(b, "%s{", n.Chunk.Name)
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		c.describe(b)
+	}
+	b.WriteByte('}')
+}
+
+// encodeUint renders v as width bytes in the given byte order.
+func encodeUint(v uint64, width int, e Endian) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	out := make([]byte, width)
+	copy(out, tmp[8-width:])
+	if e == Little {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// decodeUint is the inverse of encodeUint.
+func decodeUint(data []byte, e Endian) uint64 {
+	var v uint64
+	if e == Big {
+		for _, b := range data {
+			v = v<<8 | uint64(b)
+		}
+	} else {
+		for i := len(data) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(data[i])
+		}
+	}
+	return v
+}

@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+// catchFault runs f and returns the *Fault it panicked with, or nil.
+func catchFault(f func()) (fault *Fault) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = r.(*Fault)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestAllocLoadStoreRoundTrip(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(8)
+	h.StoreN(a, []byte{1, 2, 3, 4, 5, 6, 7, 8}, "t")
+	got := h.LoadN(a, 8, "t")
+	for i, b := range got {
+		if b != byte(i+1) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+	h.Store(a+3, 0xAA, "t")
+	if h.Load(a+3, "t") != 0xAA {
+		t.Fatal("single-byte store lost")
+	}
+}
+
+func TestNullDerefIsSEGV(t *testing.T) {
+	h := NewHeap()
+	f := catchFault(func() { h.Load(0, "null-site") })
+	if f == nil || f.Kind != SEGV {
+		t.Fatalf("fault = %+v, want SEGV", f)
+	}
+	if f.Site != "null-site" {
+		t.Fatalf("site = %q", f.Site)
+	}
+}
+
+func TestWildAccessIsSEGV(t *testing.T) {
+	h := NewHeap()
+	h.Alloc(8)
+	f := catchFault(func() { h.Load(0xdeadbeef, "wild") })
+	if f == nil || f.Kind != SEGV {
+		t.Fatalf("fault = %+v, want SEGV", f)
+	}
+}
+
+func TestOverflowIntoRedZone(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(8)
+	f := catchFault(func() { h.Load(a+8, "rz") })
+	if f == nil || f.Kind != HeapBufferOverflow {
+		t.Fatalf("fault = %+v, want heap-buffer-overflow", f)
+	}
+}
+
+func TestRangeOverflowDetected(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(8)
+	f := catchFault(func() { h.LoadN(a+4, 8, "range") })
+	if f == nil || f.Kind != HeapBufferOverflow {
+		t.Fatalf("fault = %+v, want heap-buffer-overflow", f)
+	}
+	f = catchFault(func() { h.StoreN(a, make([]byte, 9), "range") })
+	if f == nil || f.Kind != HeapBufferOverflow {
+		t.Fatalf("store fault = %+v, want heap-buffer-overflow", f)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(16)
+	h.Free(a, "free")
+	f := catchFault(func() { h.Load(a+2, "uaf") })
+	if f == nil || f.Kind != HeapUseAfterFree {
+		t.Fatalf("fault = %+v, want heap-use-after-free", f)
+	}
+	f = catchFault(func() { h.Store(a, 1, "uaf") })
+	if f == nil || f.Kind != HeapUseAfterFree {
+		t.Fatalf("store fault = %+v, want heap-use-after-free", f)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(4)
+	h.Free(a, "f1")
+	f := catchFault(func() { h.Free(a, "f2") })
+	if f == nil || f.Kind != DoubleFree {
+		t.Fatalf("fault = %+v, want double-free", f)
+	}
+}
+
+func TestFreeWildPointer(t *testing.T) {
+	h := NewHeap()
+	f := catchFault(func() { h.Free(0x99, "wild-free") })
+	if f == nil || f.Kind != SEGV {
+		t.Fatalf("fault = %+v, want SEGV", f)
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	h := NewHeap()
+	var bases []uint32
+	for i := 0; i < 32; i++ {
+		bases = append(bases, h.Alloc(uint32(i)))
+	}
+	for i := 0; i < len(bases); i++ {
+		for j := i + 1; j < len(bases); j++ {
+			lo, hi := bases[i], bases[j]
+			szLo := uint32(i)
+			if lo > hi {
+				lo, hi = hi, lo
+				szLo = uint32(j)
+			}
+			if lo+szLo > hi {
+				t.Fatalf("allocations %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestZeroSizeAllocHasUniqueAddress(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(0)
+	b := h.Alloc(0)
+	if a == b {
+		t.Fatal("zero-size allocations share an address")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(8)
+	h.Store(a, 1, "t")
+	h.Reset()
+	f := catchFault(func() { h.Load(a, "after-reset") })
+	if f == nil || f.Kind != SEGV {
+		t.Fatalf("stale address should be wild after Reset, got %+v", f)
+	}
+}
+
+func TestFaultErrorString(t *testing.T) {
+	f := &Fault{Kind: HeapUseAfterFree, Addr: 0x1000, Site: "modbus.readHolding"}
+	s := f.Error()
+	for _, want := range []string{"heap-use-after-free", "0x00001000", "modbus.readHolding"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("error %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLoadDefaultZero(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(4)
+	if h.Load(a, "t") != 0 {
+		t.Fatal("fresh allocation should read as zero")
+	}
+}

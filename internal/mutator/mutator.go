@@ -1,0 +1,277 @@
+// Package mutator implements the Peach-style per-data-type mutators that
+// the GENERATE step of Algorithm 1 draws from. The paper (§II) describes
+// three classes: random generation, mutation of the default value, and
+// mutation of existing chunks (from user seeds or previously generated
+// ones). Each mutator here targets one leaf chunk kind and produces new
+// leaf bytes; structure-level decisions (choices, array counts) are made by
+// the generation strategies in internal/core.
+package mutator
+
+import (
+	"repro/internal/datamodel"
+	"repro/internal/rng"
+)
+
+// Mutator produces a value for one leaf chunk. prev is the chunk's previous
+// instantiation (nil when generating from scratch); mutators that need an
+// existing value fall back to the default when prev is nil.
+type Mutator interface {
+	// Name identifies the mutator in logs and ablation reports.
+	Name() string
+	// Applies reports whether the mutator can handle the chunk.
+	Applies(c *datamodel.Chunk) bool
+	// Mutate returns new wire bytes for the chunk.
+	Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte
+}
+
+// interestingU64 are boundary values mutation-based fuzzers have found
+// productive: zero, small counts, sign boundaries, and width maxima.
+var interestingU64 = []uint64{
+	0, 1, 2, 3, 4, 8, 16, 32, 64, 100, 127, 128, 255, 256,
+	512, 1000, 1024, 4096, 32767, 32768, 65535, 65536,
+	0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+	0x7FFFFFFFFFFFFFFF, 0x8000000000000000, 0xFFFFFFFFFFFFFFFF,
+}
+
+// --- Number mutators ---
+
+// NumberRandom draws a uniform value of the chunk's width; when the chunk
+// declares a legal set it usually respects it but occasionally violates it
+// deliberately, because illegal opcodes exercise error paths.
+type NumberRandom struct{}
+
+func (NumberRandom) Name() string                    { return "NumberRandom" }
+func (NumberRandom) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
+func (NumberRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
+	var v uint64
+	if len(c.Legal) > 0 && !r.Chance(8) {
+		v = rng.Pick(r, c.Legal)
+	} else {
+		v = r.Uint64() & mask(c.Width)
+	}
+	return encode(v, c)
+}
+
+// NumberEdgeCase picks one of the interesting boundary values, truncated to
+// the chunk's width.
+type NumberEdgeCase struct{}
+
+func (NumberEdgeCase) Name() string                    { return "NumberEdgeCase" }
+func (NumberEdgeCase) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
+func (NumberEdgeCase) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
+	return encode(rng.Pick(r, interestingU64)&mask(c.Width), c)
+}
+
+// NumberDeltaFromDefault perturbs the default (or previous) value by a small
+// signed delta — Peach's "mutation on default value".
+type NumberDeltaFromDefault struct{}
+
+func (NumberDeltaFromDefault) Name() string                    { return "NumberDeltaFromDefault" }
+func (NumberDeltaFromDefault) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
+func (NumberDeltaFromDefault) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+	base := c.Default
+	if prev != nil {
+		base = decode(prev, c)
+	}
+	delta := uint64(r.Range(1, 16))
+	if r.Bool() {
+		base += delta
+	} else {
+		base -= delta
+	}
+	return encode(base&mask(c.Width), c)
+}
+
+// --- Blob/String mutators ---
+
+// BlobRandom regenerates the payload with random bytes, choosing a size in
+// the declared range for variable chunks.
+type BlobRandom struct{}
+
+func (BlobRandom) Name() string { return "BlobRandom" }
+func (BlobRandom) Applies(c *datamodel.Chunk) bool {
+	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
+}
+func (BlobRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
+	n := sizeFor(r, c)
+	out := make([]byte, n)
+	for i := range out {
+		if c.Kind == datamodel.String {
+			out[i] = byte('!' + r.Intn(94)) // printable ASCII
+		} else {
+			out[i] = r.Byte()
+		}
+	}
+	return out
+}
+
+// BlobBitFlip flips 1–8 bits of the previous value (or the default).
+type BlobBitFlip struct{}
+
+func (BlobBitFlip) Name() string { return "BlobBitFlip" }
+func (BlobBitFlip) Applies(c *datamodel.Chunk) bool {
+	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
+}
+func (BlobBitFlip) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+	base := prev
+	if len(base) == 0 {
+		base = defaultBytes(c)
+	}
+	if len(base) == 0 {
+		return nil
+	}
+	out := append([]byte(nil), base...)
+	for k := r.Range(1, 8); k > 0; k-- {
+		i := r.Intn(len(out) * 8)
+		out[i/8] ^= 1 << (i % 8)
+	}
+	return out
+}
+
+// BlobExpand grows the payload, duplicating a random run — probes length
+// handling. Fixed-size chunks are resized anyway: the engine's fixup pass
+// repairs size relations, and over-long fixed fields are how real packet
+// bugs (Table I's overflow) get reached.
+type BlobExpand struct{}
+
+func (BlobExpand) Name() string { return "BlobExpand" }
+func (BlobExpand) Applies(c *datamodel.Chunk) bool {
+	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
+}
+func (BlobExpand) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+	base := prev
+	if len(base) == 0 {
+		base = defaultBytes(c)
+	}
+	if len(base) == 0 {
+		base = []byte{0}
+	}
+	times := r.Range(2, 8)
+	out := append([]byte(nil), base...)
+	seg := base
+	if len(base) > 4 {
+		s := r.Intn(len(base) - 1)
+		e := r.Range(s+1, len(base))
+		seg = base[s:e]
+	}
+	for i := 0; i < times; i++ {
+		out = append(out, seg...)
+	}
+	if c.MaxSize > 0 && len(out) > c.MaxSize {
+		out = out[:c.MaxSize]
+	}
+	return out
+}
+
+// BlobTruncate shrinks the payload — probes missing-field handling, the
+// class of defect behind the paper's Listing 1 (a field "malformed or
+// missing").
+type BlobTruncate struct{}
+
+func (BlobTruncate) Name() string { return "BlobTruncate" }
+func (BlobTruncate) Applies(c *datamodel.Chunk) bool {
+	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
+}
+func (BlobTruncate) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+	base := prev
+	if len(base) == 0 {
+		base = defaultBytes(c)
+	}
+	if len(base) == 0 {
+		return nil
+	}
+	return append([]byte(nil), base[:r.Intn(len(base))]...)
+}
+
+// --- Suite ---
+
+// Suite is the default mutator set, mirroring Peach's built-in Mutators.
+func Suite() []Mutator {
+	return []Mutator{
+		NumberRandom{},
+		NumberEdgeCase{},
+		NumberDeltaFromDefault{},
+		BlobRandom{},
+		BlobBitFlip{},
+		BlobExpand{},
+		BlobTruncate{},
+	}
+}
+
+// Pick selects a uniformly random mutator applicable to the chunk, or nil
+// when none applies (interior chunks).
+func Pick(r *rng.RNG, suite []Mutator, c *datamodel.Chunk) Mutator {
+	var apt []Mutator
+	for _, m := range suite {
+		if m.Applies(c) {
+			apt = append(apt, m)
+		}
+	}
+	if len(apt) == 0 {
+		return nil
+	}
+	return rng.Pick(r, apt)
+}
+
+// --- helpers ---
+
+func mask(width int) uint64 {
+	if width >= 8 {
+		return ^uint64(0)
+	}
+	return (1 << (8 * width)) - 1
+}
+
+func encode(v uint64, c *datamodel.Chunk) []byte {
+	out := make([]byte, c.Width)
+	if c.Endian == datamodel.Big {
+		for i := c.Width - 1; i >= 0; i-- {
+			out[i] = byte(v)
+			v >>= 8
+		}
+	} else {
+		for i := 0; i < c.Width; i++ {
+			out[i] = byte(v)
+			v >>= 8
+		}
+	}
+	return out
+}
+
+func decode(data []byte, c *datamodel.Chunk) uint64 {
+	var v uint64
+	if c.Endian == datamodel.Big {
+		for _, b := range data {
+			v = v<<8 | uint64(b)
+		}
+	} else {
+		for i := len(data) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(data[i])
+		}
+	}
+	return v
+}
+
+func sizeFor(r *rng.RNG, c *datamodel.Chunk) int {
+	if c.Size != datamodel.Variable {
+		return c.Size
+	}
+	max := c.MaxSize
+	if max <= 0 {
+		max = c.MinSize + 32
+	}
+	return r.Range(c.MinSize, max)
+}
+
+func defaultBytes(c *datamodel.Chunk) []byte {
+	if len(c.DefaultBytes) > 0 {
+		return c.DefaultBytes
+	}
+	if c.Size > 0 {
+		return make([]byte, c.Size)
+	}
+	if c.MinSize > 0 {
+		return make([]byte, c.MinSize)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package sandbox runs one target execution per packet and converts abnormal
+// terminations into structured crash records.
+//
+// In the paper, the target is a separate instrumented process and crashes or
+// hangs are observed by the fuzzer supervisor (Algorithm 1, RUNTARGET /
+// CRASH / HANG). Here the target is an in-process Go reimplementation, so
+// the sandbox's job is to (a) reset per-execution state, (b) recover from
+// panics — both simulated memory faults from internal/mem and native Go
+// runtime errors, which correspond to the SEGV class — and (c) enforce a
+// step budget that turns runaway parsing loops into hang reports.
+package sandbox
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/coverage"
+	"repro/internal/mem"
+)
+
+// Outcome classifies one target execution.
+type Outcome int
+
+// Execution outcomes. OK covers both accepted and cleanly-rejected packets;
+// the distinction the fuzzer cares about is carried by the coverage map.
+const (
+	OK Outcome = iota
+	Crash
+	Hang
+)
+
+// String returns the conventional lowercase name of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Result is the supervisor's view of one execution: what happened, the
+// fault details when it crashed, and the coverage snapshot hash used for
+// path-signature triage.
+type Result struct {
+	Outcome Outcome
+	Fault   *mem.Fault // non-nil iff Outcome == Crash
+	PathSig uint64     // coverage.Hash of the execution's map
+}
+
+// Target is the minimal interface the sandbox needs: a packet handler that
+// reports coverage through the given tracer. Concrete protocol targets live
+// in internal/targets and implement the richer targets.Target interface,
+// which embeds this one.
+type Target interface {
+	// Handle processes one protocol packet. It may panic with *mem.Fault
+	// (simulated memory violation) or any runtime error (native fault);
+	// the sandbox recovers both.
+	Handle(t *coverage.Tracer, packet []byte)
+}
+
+// Runner executes packets against one target instance with one tracer.
+type Runner struct {
+	target Target
+	tracer *coverage.Tracer
+}
+
+// NewRunner returns a runner for the given target. The runner owns its
+// tracer; callers read coverage through Tracer().
+func NewRunner(t Target) *Runner {
+	return &Runner{target: t, tracer: coverage.NewTracer()}
+}
+
+// Tracer exposes the runner's coverage tracer so the engine can inspect the
+// map of the most recent execution.
+func (r *Runner) Tracer() *coverage.Tracer { return r.tracer }
+
+// Run executes one packet, returning the classified result. The tracer is
+// reset before the execution, so after Run returns the tracer holds exactly
+// this execution's coverage.
+func (r *Runner) Run(packet []byte) (res Result) {
+	r.tracer.Reset()
+	defer func() {
+		res.PathSig = coverage.Hash(r.tracer.Raw())
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		res.Outcome = Crash
+		switch f := rec.(type) {
+		case *mem.Fault:
+			res.Fault = f
+		case runtime.Error:
+			// Native Go faults (index out of range, nil deref)
+			// correspond to the SEGV class in Table I; the site
+			// is the panicking frame.
+			res.Fault = &mem.Fault{Kind: mem.SEGV, Site: panicSite()}
+		case *hangError:
+			res.Outcome = Hang
+			res.Fault = nil
+		default:
+			res.Fault = &mem.Fault{Kind: mem.SEGV, Site: fmt.Sprint(rec)}
+		}
+	}()
+	r.target.Handle(r.tracer, packet)
+	return Result{Outcome: OK}
+}
+
+// panicSite walks the stack to find the first frame outside this package
+// and the runtime, giving a stable dedup key for native faults. The key is
+// the function name without a line number: one vulnerable check commonly
+// manifests at several adjacent fault PCs (a slice expression and the index
+// next to it), and ASan-style unique-bug counting — what the paper's
+// Table I reports — treats those as one bug.
+func panicSite() string {
+	var pcs [32]uintptr
+	n := runtime.Callers(4, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.Function != "" && !isInfra(f.Function) {
+			return f.Function
+		}
+		if !more {
+			break
+		}
+	}
+	return "unknown"
+}
+
+func isInfra(fn string) bool {
+	for _, p := range []string{"runtime.", "repro/internal/sandbox."} {
+		if len(fn) >= len(p) && fn[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// hangError is the panic payload used by Budget to abort an execution that
+// exceeded its step budget.
+type hangError struct{}
+
+func (*hangError) Error() string { return "sandbox: step budget exhausted" }
+
+// Budget is a step counter a target threads through its parsing loops to
+// make hangs detectable. Tick panics once the budget is exhausted; the
+// sandbox classifies that panic as a Hang.
+type Budget struct {
+	left int
+}
+
+// NewBudget returns a budget of n steps.
+func NewBudget(n int) *Budget { return &Budget{left: n} }
+
+// Tick consumes one step, aborting the execution when none remain.
+func (b *Budget) Tick() {
+	b.left--
+	if b.left < 0 {
+		panic(&hangError{})
+	}
+}

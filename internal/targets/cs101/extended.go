@@ -1,0 +1,142 @@
+package cs101
+
+import "repro/internal/coverage"
+
+// Extended ASDU types: double commands, normalized set-points, bit strings
+// and parameter activation — the remainder of lib60870's CS101 slave
+// surface. All extended decoders are bounds-checked; the three Table I
+// faults stay where cs101.go seeds them.
+const (
+	typeMBoNa = 7   // M_BO_NA_1 bitstring of 32 bit
+	typeCDcNa = 46  // C_DC_NA_1 double command
+	typeCSeNa = 48  // C_SE_NA_1 set-point command, normalized
+	typePAcNa = 113 // P_AC_NA_1 parameter activation
+)
+
+// extendedState holds the banks served by the extended types.
+type extendedState struct {
+	doublePoints [64]byte
+	normalized   [64]int16
+	bitstrings   [32]uint32
+	paramsActive [16]bool
+}
+
+// dispatchExtended decodes the extended type ids; returns false when the
+// type id is not handled here.
+func (s *Slave) dispatchExtended(tr *coverage.Tracer, typeID byte, body []byte, n int, cot byte) bool {
+	switch typeID {
+	case typeMBoNa:
+		s.hit(tr, 60)
+		s.decodeBitstrings(tr, body, n)
+	case typeCDcNa:
+		s.hit(tr, 61)
+		s.doubleCommand(tr, body, cot)
+	case typeCSeNa:
+		s.hit(tr, 62)
+		s.setpointNormalized(tr, body, cot)
+	case typePAcNa:
+		s.hit(tr, 63)
+		s.parameterActivation(tr, body, cot)
+	default:
+		return false
+	}
+	return true
+}
+
+// decodeBitstrings parses M_BO_NA_1: IOA + 4-byte bitstring + QDS.
+func (s *Slave) decodeBitstrings(tr *coverage.Tracer, body []byte, n int) {
+	const objLen = 8
+	if len(body) < objLen*n {
+		s.hit(tr, 64)
+		return
+	}
+	for i := 0; i < n; i++ {
+		obj := body[objLen*i:]
+		a := ioa(obj)
+		if a >= len(s.bitext.bitstrings) {
+			s.hit(tr, 65)
+			continue
+		}
+		s.hit(tr, 66)
+		s.bitext.bitstrings[a] = uint32(obj[3]) | uint32(obj[4])<<8 |
+			uint32(obj[5])<<16 | uint32(obj[6])<<24
+	}
+}
+
+// doubleCommand executes C_DC_NA_1: DCS 1 = off, 2 = on.
+func (s *Slave) doubleCommand(tr *coverage.Tracer, body []byte, cot byte) {
+	if len(body) < 4 {
+		s.hit(tr, 67)
+		return
+	}
+	if cot != 6 {
+		s.hit(tr, 68)
+		return
+	}
+	a := ioa(body)
+	dcs := body[3] & 0x03
+	if a >= len(s.bitext.doublePoints) || dcs == 0 || dcs == 3 {
+		s.hit(tr, 69)
+		return
+	}
+	if body[3]&0x80 != 0 { // select
+		s.hit(tr, 70)
+		return
+	}
+	s.hit(tr, 71)
+	s.bitext.doublePoints[a] = dcs
+}
+
+// setpointNormalized executes C_SE_NA_1: a 16-bit normalized value with a
+// qualifier-of-set-point octet. Unlike the seeded scaled variant this
+// decoder is bounds-checked.
+func (s *Slave) setpointNormalized(tr *coverage.Tracer, body []byte, cot byte) {
+	if len(body) < 6 {
+		s.hit(tr, 72)
+		return
+	}
+	if cot != 6 {
+		s.hit(tr, 73)
+		return
+	}
+	a := ioa(body)
+	if a >= len(s.bitext.normalized) {
+		s.hit(tr, 74)
+		return
+	}
+	if body[5]&0x80 != 0 { // select
+		s.hit(tr, 75)
+		return
+	}
+	s.hit(tr, 76)
+	s.bitext.normalized[a] = int16(uint16(body[3]) | uint16(body[4])<<8)
+}
+
+// parameterActivation executes P_AC_NA_1: QPA 1 activates, 2 deactivates
+// the previously loaded parameter of the addressed object.
+func (s *Slave) parameterActivation(tr *coverage.Tracer, body []byte, cot byte) {
+	if len(body) < 4 {
+		s.hit(tr, 77)
+		return
+	}
+	if cot != 6 && cot != 8 {
+		s.hit(tr, 78)
+		return
+	}
+	a := ioa(body)
+	qpa := body[3]
+	if a >= len(s.bitext.paramsActive) {
+		s.hit(tr, 79)
+		return
+	}
+	switch qpa {
+	case 1:
+		s.hit(tr, 80)
+		s.bitext.paramsActive[a] = true
+	case 2:
+		s.hit(tr, 81)
+		s.bitext.paramsActive[a] = false
+	default:
+		s.hit(tr, 82)
+	}
+}

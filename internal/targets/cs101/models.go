@@ -1,0 +1,110 @@
+package cs101
+
+import "repro/internal/datamodel"
+
+// Models returns the CS101 Pit-equivalent: fixed link frames plus one
+// variable-frame model per ASDU type. The variable frame carries two
+// integrity constraints the fixup engine maintains — the duplicated length
+// octets (both size-of relations over the body) and the modular-sum
+// checksum — exactly the constraint shapes §IV-D's File Fixup exists for.
+func (s *Slave) Models() []*datamodel.Model {
+	return CS101Models()
+}
+
+// fixedFrameModel builds the 0x10 link-control frame for one function code.
+func fixedFrameModel(name string, fc uint64) *datamodel.Model {
+	return datamodel.NewModel(name,
+		datamodel.Num("start", 1, 0x10).AsToken(),
+		datamodel.Num("ctrl", 1, 0x40|fc).AsToken(),
+		datamodel.Num("addr", 1, 1),
+		datamodel.Num("checksum", 1, 0).WithFix(datamodel.Sum8, "ctrl", "addr"),
+		datamodel.Num("stop", 1, 0x16).AsToken(),
+	)
+}
+
+// varFrame builds the 0x68 variable frame around ASDU chunks.
+func varFrame(name string, typeID uint64, asduRest ...*datamodel.Chunk) *datamodel.Model {
+	asdu := append([]*datamodel.Chunk{
+		datamodel.Num("typeId", 1, typeID).AsToken(),
+		datamodel.Num("vsq", 1, 1),
+		datamodel.Num("cot", 1, 6),
+		datamodel.Num("oa", 1, 0),
+		datamodel.NumLE("commonAddr", 2, 1),
+	}, asduRest...)
+	body := datamodel.Blk("body",
+		datamodel.Num("ctrl", 1, 0x73),
+		datamodel.Num("linkAddr", 1, 1),
+		datamodel.Blk("asdu", asdu...),
+	)
+	return datamodel.NewModel(name,
+		datamodel.Num("start1", 1, 0x68).AsToken(),
+		datamodel.Num("len1", 1, 0).WithRel(datamodel.SizeOf, "body", 0),
+		datamodel.Num("len2", 1, 0).WithRel(datamodel.SizeOf, "body", 0),
+		datamodel.Num("start2", 1, 0x68).AsToken(),
+		body,
+		datamodel.Num("checksum", 1, 0).WithFix(datamodel.Sum8, "body"),
+		datamodel.Num("stop", 1, 0x16).AsToken(),
+	)
+}
+
+// CS101Models builds the model set without a slave instance.
+//
+// The ASDU header in these models is 6 bytes (type, VSQ, COT, OA, CA lo,
+// CA hi): the profile with a one-byte originator address, as lib60870's
+// CS101 examples configure it. The decoder indexes COT at offset 2 and CA
+// at offsets 4-5 with no length verification; truncating mutations shrink
+// the header below those offsets, which is the road to the seeded
+// getCOT/getCA faults.
+func CS101Models() []*datamodel.Model {
+	return []*datamodel.Model{
+		// Coarse-grained variable frame: the whole ASDU as one chunk.
+		// The paper notes coarse chunk information is enough (§V-A);
+		// this model is also what lets truncation mutations produce
+		// ASDUs shorter than the 6-byte header, the precondition of
+		// the seeded getCOT/getCA faults.
+		datamodel.NewModel("RawVariableFrame",
+			datamodel.Num("start1", 1, 0x68).AsToken(),
+			datamodel.Num("len1", 1, 0).WithRel(datamodel.SizeOf, "body", 0),
+			datamodel.Num("len2", 1, 0).WithRel(datamodel.SizeOf, "body", 0),
+			datamodel.Num("start2", 1, 0x68).AsToken(),
+			datamodel.Blk("body",
+				datamodel.Num("ctrl", 1, 0x73),
+				datamodel.Num("linkAddr", 1, 1),
+				datamodel.BytesVar("asdu", 0, 44, []byte{typeMSpNa, 1, 6, 0, 1, 0}),
+			),
+			datamodel.Num("checksum", 1, 0).WithFix(datamodel.Sum8, "body"),
+			datamodel.Num("stop", 1, 0x16).AsToken(),
+		),
+		fixedFrameModel("ResetRemoteLink", fcResetRemoteLink),
+		fixedFrameModel("TestLink", fcTestLink),
+		fixedFrameModel("RequestStatus", fcReqStatus),
+		fixedFrameModel("RequestClass2", fcReqClass2),
+		varFrame("SinglePointInfo", typeMSpNa,
+			datamodel.BytesVar("objects", 0, 32, []byte{0x01, 0x00, 0x00, 0x01}),
+		),
+		varFrame("MeasuredScaled", typeMMeNb,
+			datamodel.BytesVar("objects", 0, 36, []byte{0x02, 0x00, 0x00, 0x34, 0x12, 0x00}),
+		),
+		varFrame("SingleCommand", typeCScNa,
+			datamodel.BytesVar("objects", 0, 16, []byte{0x03, 0x00, 0x00, 0x01}),
+		),
+		varFrame("SetpointScaled", typeCSeNb,
+			datamodel.BytesVar("objects", 0, 36, []byte{0x04, 0x00, 0x00, 0x64, 0x00, 0x00}),
+		),
+		varFrame("Interrogation", typeCIcNa,
+			datamodel.BytesVar("objects", 0, 16, []byte{0x00, 0x00, 0x00, 0x14}),
+		),
+		varFrame("Bitstring32", typeMBoNa,
+			datamodel.BytesVar("objects", 0, 40, []byte{0x05, 0x00, 0x00, 0xEF, 0xBE, 0xAD, 0xDE, 0x00}),
+		),
+		varFrame("DoubleCommand", typeCDcNa,
+			datamodel.BytesVar("objects", 0, 16, []byte{0x06, 0x00, 0x00, 0x02}),
+		),
+		varFrame("SetpointNormalized", typeCSeNa,
+			datamodel.BytesVar("objects", 0, 36, []byte{0x07, 0x00, 0x00, 0x00, 0x40, 0x00}),
+		),
+		varFrame("ParameterActivation", typePAcNa,
+			datamodel.BytesVar("objects", 0, 16, []byte{0x08, 0x00, 0x00, 0x01}),
+		),
+	}
+}

@@ -1,0 +1,159 @@
+package dnp3
+
+import "repro/internal/coverage"
+
+// Extended application functions and object groups: counter freeze
+// operations, octet-string writes, internal-indication clears, and class
+// assignment — the remainder of an opendnp3 outstation's default surface.
+const (
+	afFreeze        = 0x07
+	afFreezeNoAck   = 0x08
+	afFreezeClear   = 0x09
+	afAssignClass   = 0x16
+	grFrozenCounter = 21
+	grOctetString   = 110
+	grIIN           = 80
+)
+
+// extendedState holds the banks the extended groups serve.
+type extendedState struct {
+	frozen        [8]uint32
+	octet         map[int][]byte
+	deviceRestart bool          // IIN1.7, cleared by a g80 write
+	classAssign   map[byte]byte // group -> class
+}
+
+func newExtendedState() extendedState {
+	return extendedState{
+		octet:         map[int][]byte{},
+		deviceRestart: true,
+		classAssign:   map[byte]byte{},
+	}
+}
+
+// dispatchExtended handles the extended functions; returns false when the
+// function code is not handled here.
+func (o *Outstation) dispatchExtended(tr *coverage.Tracer, fc byte, objs []byte) bool {
+	switch fc {
+	case afFreeze, afFreezeNoAck:
+		o.hit(tr, 90)
+		o.freeze(tr, objs, false)
+	case afFreezeClear:
+		o.hit(tr, 91)
+		o.freeze(tr, objs, true)
+	case afAssignClass:
+		o.hit(tr, 92)
+		o.assignClass(tr, objs)
+	default:
+		return false
+	}
+	return true
+}
+
+// freeze copies running counters into the frozen bank (g20 -> g21), and
+// optionally clears the running values.
+func (o *Outstation) freeze(tr *coverage.Tracer, objs []byte, clear bool) {
+	h, _, ok := o.parseHeader(tr, objs, 0)
+	if !ok {
+		return
+	}
+	if h.group != grCounter {
+		o.hit(tr, 93)
+		return
+	}
+	start, stop := h.start, h.stop
+	if stop < 0 || stop >= len(o.counters) {
+		stop = len(o.counters) - 1
+	}
+	for i := start; i <= stop && i < len(o.counters); i++ {
+		o.hit(tr, 94)
+		o.ext.frozen[i] = o.counters[i]
+		if clear {
+			o.hit(tr, 95)
+			o.counters[i] = 0
+		}
+	}
+}
+
+// assignClass maps an object group to an event class (g60 variation).
+func (o *Outstation) assignClass(tr *coverage.Tracer, objs []byte) {
+	// First header names the class (g60vN, all-objects qualifier).
+	cls, rest, ok := o.parseHeader(tr, objs, 0)
+	if !ok {
+		return
+	}
+	if cls.group != grClassData || cls.variation < 1 || cls.variation > 4 {
+		o.hit(tr, 96)
+		return
+	}
+	// Following headers name the groups being assigned.
+	for len(rest) > 0 {
+		h, r2, ok := o.parseHeader(tr, rest, 0)
+		if !ok {
+			return
+		}
+		rest = r2
+		o.hit(tr, 97)
+		o.ext.classAssign[h.group] = cls.variation
+	}
+}
+
+// extendedRead serves the extended readable groups; returns false when the
+// group is not handled here.
+func (o *Outstation) extendedRead(tr *coverage.Tracer, h header) bool {
+	switch h.group {
+	case grFrozenCounter:
+		o.hit(tr, 98)
+		o.scanRange(tr, h, len(o.ext.frozen), 99)
+	case grOctetString:
+		o.hit(tr, 101)
+		for idx := range o.ext.octet {
+			if h.stop < 0 || (idx >= h.start && idx <= h.stop) {
+				o.hit(tr, 102)
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// extendedWrite serves octet-string writes (g110, variation = string
+// length, qualifier 0x17 with one index prefix) and IIN clears (g80v1).
+func (o *Outstation) extendedWrite(tr *coverage.Tracer, h header, objs []byte) bool {
+	switch h.group {
+	case grOctetString:
+		// Variation carries the string length; data is index + bytes.
+		n := int(h.variation)
+		if n == 0 || h.count != 1 {
+			o.hit(tr, 103)
+			return true
+		}
+		if len(objs) < 1+n {
+			o.hit(tr, 104)
+			return true
+		}
+		idx := int(objs[0])
+		if idx > 15 {
+			o.hit(tr, 105)
+			return true
+		}
+		o.hit(tr, 106)
+		o.ext.octet[idx] = append([]byte(nil), objs[1:1+n]...)
+	case grIIN:
+		// g80v1 write with a zero bit clears IIN1.7 (device restart).
+		if len(objs) < 1 {
+			o.hit(tr, 107)
+			return true
+		}
+		if objs[0]&1 == 0 {
+			o.hit(tr, 108)
+			o.ext.deviceRestart = false
+		} else {
+			o.hit(tr, 109)
+		}
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package dnp3
+
+import "repro/internal/datamodel"
+
+// Models returns the DNP3 Pit-equivalent. Every model wraps one link-layer
+// frame with two checksum constraints — the header CRC-16/DNP and the
+// per-block data CRC — plus the link length relation; these are the
+// integrity constraints grammar-based fuzzers cannot express (§VI) and the
+// File Fixup module maintains. User data is kept within one 16-byte block
+// except for the CROB models, which span two fixed blocks.
+func (o *Outstation) Models() []*datamodel.Model {
+	return DNP3Models()
+}
+
+// linkFrame builds a single-block frame: user data (transport + app) must
+// serialize to at most 16 bytes.
+func linkFrame(name string, fc uint64, app ...*datamodel.Chunk) *datamodel.Model {
+	user := append([]*datamodel.Chunk{
+		datamodel.Num("transport", 1, 0xC0), // FIR|FIN, seq 0
+		datamodel.Num("appCtrl", 1, 0xC0),   // FIR|FIN, seq 0
+		datamodel.Num("appFunc", 1, fc).AsToken(),
+	}, app...)
+	return datamodel.NewModel(name,
+		datamodel.Num("start", 2, 0x0564).AsToken(),
+		datamodel.Num("linkLen", 1, 0).WithRel(datamodel.SizeOf, "user", 5),
+		datamodel.Num("linkCtrl", 1, 0xC4).WithLegal(0xC0, 0xC2, 0xC3, 0xC4, 0xC9), // PRM | user data
+		datamodel.NumLE("dest", 2, 10),
+		datamodel.NumLE("src", 2, 1),
+		datamodel.NumLE("headerCrc", 2, 0).WithFix(datamodel.CRC16DNP,
+			"start", "linkLen", "linkCtrl", "dest", "src"),
+		datamodel.Blk("user", user...),
+		datamodel.NumLE("blockCrc", 2, 0).WithFix(datamodel.CRC16DNP, "user"),
+	)
+}
+
+// crobFrame builds the two-block select/operate frame: the 19-byte user
+// fragment is split 16+3 with a CRC after each block, mirroring the link
+// layer's blocking rule.
+func crobFrame(name string, fc uint64) *datamodel.Model {
+	return datamodel.NewModel(name,
+		datamodel.Num("start", 2, 0x0564).AsToken(),
+		datamodel.Num("linkLen", 1, 19+5),
+		datamodel.Num("linkCtrl", 1, 0xC4).WithLegal(0xC0, 0xC2, 0xC3, 0xC4, 0xC9),
+		datamodel.NumLE("dest", 2, 10),
+		datamodel.NumLE("src", 2, 1),
+		datamodel.NumLE("headerCrc", 2, 0).WithFix(datamodel.CRC16DNP,
+			"start", "linkLen", "linkCtrl", "dest", "src"),
+		datamodel.Blk("blockA",
+			datamodel.Num("transport", 1, 0xC0),
+			datamodel.Num("appCtrl", 1, 0xC0),
+			datamodel.Num("appFunc", 1, fc).AsToken(),
+			datamodel.Num("group", 1, grCROB),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x17),
+			datamodel.Num("count", 1, 1),
+			datamodel.Num("index", 1, 0),
+			datamodel.Num("opCode", 1, 0x01).WithLegal(0x01, 0x03, 0x04),
+			datamodel.Num("opCount", 1, 1),
+			datamodel.NumLE("onTime", 4, 100),
+			datamodel.NumLE("offTimeHi", 2, 0), // first half of offTime
+		),
+		datamodel.NumLE("blockACrc", 2, 0).WithFix(datamodel.CRC16DNP, "blockA"),
+		datamodel.Blk("blockB",
+			datamodel.NumLE("offTimeLo", 2, 0), // second half of offTime
+			datamodel.Num("status", 1, 0),
+		),
+		datamodel.NumLE("blockBCrc", 2, 0).WithFix(datamodel.CRC16DNP, "blockB"),
+	)
+}
+
+// DNP3Models builds the model set without an outstation instance.
+func DNP3Models() []*datamodel.Model {
+	return []*datamodel.Model{
+		linkFrame("ReadClassData", afRead,
+			datamodel.Num("group", 1, grClassData),
+			datamodel.Num("variation", 1, 1).WithLegal(1, 2, 3, 4),
+			datamodel.Num("qualifier", 1, 0x06),
+		),
+		linkFrame("ReadBinaryRange", afRead,
+			datamodel.Num("group", 1, grBinaryInput).WithLegal(
+				grBinaryInput, grBinaryOutput, grCounter, grAnalogInput, grTime),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x00),
+			datamodel.Num("rangeStart", 1, 0),
+			datamodel.Num("rangeStop", 1, 7),
+		),
+		linkFrame("ReadWideRange", afRead,
+			datamodel.Num("group", 1, grAnalogInput),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x01),
+			datamodel.NumLE("rangeStart", 2, 0),
+			datamodel.NumLE("rangeStop", 2, 15),
+		),
+		linkFrame("WriteTime", afWrite,
+			datamodel.Num("group", 1, grTime),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x07),
+			datamodel.Num("count", 1, 1),
+			datamodel.Bytes("time", 6, []byte{0x10, 0x32, 0x54, 0x76, 0x98, 0x00}),
+		),
+		crobFrame("SelectCROB", afSelect),
+		crobFrame("OperateCROB", afOperate),
+		crobFrame("DirectOperateCROB", afDirectOperate),
+		linkFrame("ColdRestart", afColdRestart),
+		linkFrame("DelayMeasure", afDelayMeasure),
+		linkFrame("EnableUnsolicited", afEnableUnsol,
+			datamodel.Num("group", 1, grClassData),
+			datamodel.Num("variation", 1, 2).WithLegal(2, 3, 4),
+			datamodel.Num("qualifier", 1, 0x06),
+		),
+		linkFrame("DisableUnsolicited", afDisableUnsol,
+			datamodel.Num("group", 1, grClassData),
+			datamodel.Num("variation", 1, 2).WithLegal(2, 3, 4),
+			datamodel.Num("qualifier", 1, 0x06),
+		),
+		linkFrame("FreezeCounters", afFreeze,
+			datamodel.Num("group", 1, grCounter),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x00),
+			datamodel.Num("rangeStart", 1, 0),
+			datamodel.Num("rangeStop", 1, 7),
+		),
+		linkFrame("FreezeAndClear", afFreezeClear,
+			datamodel.Num("group", 1, grCounter),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x06),
+		),
+		linkFrame("ReadFrozenCounters", afRead,
+			datamodel.Num("group", 1, grFrozenCounter).AsToken(),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x06),
+		),
+		linkFrame("WriteOctetString", afWrite,
+			datamodel.Num("group", 1, grOctetString).AsToken(),
+			datamodel.Num("variation", 1, 0).WithRel(datamodel.SizeOf, "octets", 0),
+			datamodel.Num("qualifier", 1, 0x17),
+			datamodel.Num("count", 1, 1),
+			datamodel.Num("index", 1, 0),
+			datamodel.BytesVar("octets", 1, 6, []byte("PS")),
+		),
+		linkFrame("ClearRestartIIN", afWrite,
+			datamodel.Num("group", 1, grIIN).AsToken(),
+			datamodel.Num("variation", 1, 1),
+			datamodel.Num("qualifier", 1, 0x00),
+			datamodel.Num("rangeStart", 1, 7),
+			datamodel.Num("rangeStop", 1, 7),
+			datamodel.Num("bits", 1, 0),
+		),
+		linkFrame("AssignClass", afAssignClass,
+			datamodel.Num("clsGroup", 1, grClassData),
+			datamodel.Num("clsVariation", 1, 2).WithLegal(1, 2, 3, 4),
+			datamodel.Num("clsQualifier", 1, 0x06),
+			datamodel.Num("group", 1, grBinaryInput),
+			datamodel.Num("variation", 1, 0),
+			datamodel.Num("qualifier", 1, 0x06),
+		),
+	}
+}

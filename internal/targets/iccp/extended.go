@@ -1,0 +1,106 @@
+package iccp
+
+import "repro/internal/coverage"
+
+// Extended confirmed services: the TASE.2 conformance and transfer-set
+// operations libiec_iccp_mod layers over plain MMS reads/writes. All
+// extended paths are bounds-checked; the four Table I faults stay where
+// iccp.go seeds them.
+const (
+	svcGetNamedListAttrs = 0x4C
+	svcDeleteNamedList   = 0x4E
+	svcNextTransferSet   = 0x60
+	svcConclusionTimer   = 0x61
+	svcIdentify          = 0x52
+)
+
+// dispatchExtended serves the extended confirmed services; returns false
+// when the service code is not handled here.
+func (s *Server) dispatchExtended(tr *coverage.Tracer, svc byte, rest []byte) bool {
+	switch svc {
+	case svcGetNamedListAttrs:
+		s.hit(tr, 60)
+		s.getNamedListAttrs(tr, rest)
+	case svcDeleteNamedList:
+		s.hit(tr, 61)
+		s.deleteNamedList(tr, rest)
+	case svcNextTransferSet:
+		s.hit(tr, 62)
+		s.nextTransferSet(tr, rest)
+	case svcConclusionTimer:
+		s.hit(tr, 63)
+		s.conclusionTimer(tr, rest)
+	case svcIdentify:
+		s.hit(tr, 64)
+		// Identify carries no parameters; respond with vendor info.
+	default:
+		return false
+	}
+	return true
+}
+
+// getNamedListAttrs reports a transfer set's element count.
+func (s *Server) getNamedListAttrs(tr *coverage.Tracer, rest []byte) {
+	if len(rest) < 1 {
+		s.hit(tr, 65)
+		return
+	}
+	idx := int(rest[0])
+	if idx >= s.transferSets {
+		s.hit(tr, 66)
+		return
+	}
+	s.hit(tr, 67)
+}
+
+// deleteNamedList removes the most recent transfer set (the library keeps
+// them in definition order).
+func (s *Server) deleteNamedList(tr *coverage.Tracer, rest []byte) {
+	if len(rest) < 1 {
+		s.hit(tr, 68)
+		return
+	}
+	if s.transferSets == 0 {
+		s.hit(tr, 69)
+		return
+	}
+	idx := int(rest[0])
+	if idx >= s.transferSets {
+		s.hit(tr, 70)
+		return
+	}
+	s.hit(tr, 71)
+	s.transferSets--
+}
+
+// nextTransferSet hands out the next free transfer-set name — the TASE.2
+// Next_DSTransfer_Set negotiation.
+func (s *Server) nextTransferSet(tr *coverage.Tracer, rest []byte) {
+	if s.transferSets >= 8 {
+		s.hit(tr, 72) // pool exhausted
+		return
+	}
+	if len(rest) >= 1 && rest[0] > 0 {
+		s.hit(tr, 73) // scoped request
+		return
+	}
+	s.hit(tr, 74)
+}
+
+// conclusionTimer arms the association inactivity timer: a 16-bit seconds
+// value, bounded like the library's configuration.
+func (s *Server) conclusionTimer(tr *coverage.Tracer, rest []byte) {
+	if len(rest) < 2 {
+		s.hit(tr, 75)
+		return
+	}
+	secs := uint16(rest[0])<<8 | uint16(rest[1])
+	switch {
+	case secs == 0:
+		s.hit(tr, 76) // disable
+	case secs > 3600:
+		s.hit(tr, 77) // clamped
+	default:
+		s.hit(tr, 78)
+	}
+}

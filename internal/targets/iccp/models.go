@@ -1,0 +1,113 @@
+package iccp
+
+import "repro/internal/datamodel"
+
+// Models returns the ICCP Pit-equivalent. Every data-transfer model stacks
+// three size relations — TPKT total length, MMS PDU length, and the
+// length-prefixed names inside services — giving File Fixup the layered
+// constraints MMS-family protocols are known for. The name chunks share
+// construction rules across the read/write/name-list models, so puzzles
+// cracked from one service donate to the others (§III).
+func (s *Server) Models() []*datamodel.Model {
+	return ICCPModels()
+}
+
+// tpktCotpDT wraps an MMS PDU (tag + body) in COTP DT and TPKT framing.
+func tpktCotpDT(name string, tag uint64, body ...*datamodel.Chunk) *datamodel.Model {
+	return datamodel.NewModel(name,
+		datamodel.Num("tpktVersion", 1, 0x03).AsToken(),
+		datamodel.Num("tpktReserved", 1, 0x00).AsToken(),
+		datamodel.Num("tpktLen", 2, 0).WithRel(datamodel.SizeOf, "rest", 4),
+		datamodel.Blk("rest",
+			datamodel.Num("cotpHdrLen", 1, 2),
+			datamodel.Num("cotpType", 1, cotpDT).AsToken(),
+			datamodel.Num("cotpFlags", 1, 0x80),
+			datamodel.Blk("mms",
+				datamodel.Num("tag", 1, tag).AsToken(),
+				datamodel.Num("mmsLen", 1, 0).WithRel(datamodel.SizeOf, "mmsBody", 0),
+				datamodel.Blk("mmsBody", body...),
+			),
+		),
+	)
+}
+
+// ICCPModels builds the model set without a server instance.
+func ICCPModels() []*datamodel.Model {
+	return []*datamodel.Model{
+		// COTP connection request: no MMS payload.
+		datamodel.NewModel("COTPConnect",
+			datamodel.Num("tpktVersion", 1, 0x03).AsToken(),
+			datamodel.Num("tpktReserved", 1, 0x00).AsToken(),
+			datamodel.Num("tpktLen", 2, 0).WithRel(datamodel.SizeOf, "rest", 4),
+			datamodel.Blk("rest",
+				datamodel.Num("cotpHdrLen", 1, 6),
+				datamodel.Num("cotpType", 1, cotpCR).AsToken(),
+				datamodel.Bytes("cotpParams", 5, []byte{0x00, 0x00, 0x00, 0x00, 0x00}),
+			),
+		),
+		tpktCotpDT("Initiate", tagInitiate,
+			datamodel.Num("version", 2, 1),
+			datamodel.Num("maxPDU", 2, 1024),
+			datamodel.Num("apLen", 1, 0).WithRel(datamodel.SizeOf, "apTitle", 0),
+			datamodel.StrVar("apTitle", 1, 16, "ICCP-CLIENT"),
+		),
+		tpktCotpDT("Conclude", tagConclude,
+			datamodel.Num("reason", 1, 0),
+		),
+		tpktCotpDT("GetNameListVMD", tagConfirmed,
+			datamodel.Num("invokeId", 2, 1),
+			datamodel.Num("service", 1, svcGetNameList).AsToken(),
+			datamodel.Num("scope", 1, 0),
+		),
+		tpktCotpDT("GetNameListDomain", tagConfirmed,
+			datamodel.Num("invokeId", 2, 2),
+			datamodel.Num("service", 1, svcGetNameList).AsToken(),
+			datamodel.Num("scope", 1, 1),
+			datamodel.Num("domainLen", 1, 0).WithRel(datamodel.SizeOf, "domain", 0),
+			datamodel.StrVar("domain", 1, 16, "ICC1"),
+		),
+		tpktCotpDT("ReadVariable", tagConfirmed,
+			datamodel.Num("invokeId", 2, 3),
+			datamodel.Num("service", 1, svcRead).AsToken(),
+			datamodel.Num("nameLen", 1, 0).WithRel(datamodel.SizeOf, "itemName", 0),
+			datamodel.StrVar("itemName", 1, 24, "Transfer_Set_Name"),
+		),
+		tpktCotpDT("WriteVariable", tagConfirmed,
+			datamodel.Num("invokeId", 2, 4),
+			datamodel.Num("service", 1, svcWrite).AsToken(),
+			datamodel.Num("nameLen", 1, 0).WithRel(datamodel.SizeOf, "itemName", 0),
+			datamodel.StrVar("itemName", 1, 24, "Bilateral_Table_ID"),
+			datamodel.Num("valueLen", 1, 0).WithRel(datamodel.SizeOf, "value", 0),
+			datamodel.BytesVar("value", 1, 48, []byte{0x01, 0x02}),
+		),
+		tpktCotpDT("NextTransferSet", tagConfirmed,
+			datamodel.Num("invokeId", 2, 6),
+			datamodel.Num("service", 1, svcNextTransferSet).AsToken(),
+			datamodel.Num("scope", 1, 0),
+		),
+		tpktCotpDT("DeleteTransferSet", tagConfirmed,
+			datamodel.Num("invokeId", 2, 7),
+			datamodel.Num("service", 1, svcDeleteNamedList).AsToken(),
+			datamodel.Num("index", 1, 0),
+		),
+		tpktCotpDT("ConclusionTimer", tagConfirmed,
+			datamodel.Num("invokeId", 2, 8),
+			datamodel.Num("service", 1, svcConclusionTimer).AsToken(),
+			datamodel.Num("seconds", 2, 60),
+		),
+		tpktCotpDT("IdentifyPeer", tagConfirmed,
+			datamodel.Num("invokeId", 2, 9),
+			datamodel.Num("service", 1, svcIdentify).AsToken(),
+		),
+		tpktCotpDT("DefineTransferSet", tagConfirmed,
+			datamodel.Num("invokeId", 2, 5),
+			datamodel.Num("service", 1, svcDefineNamedList).AsToken(),
+			datamodel.Num("count", 1, 0).WithRel(datamodel.CountOf, "elements", 0),
+			datamodel.Rep("elements",
+				datamodel.Blk("element",
+					datamodel.Num("etag", 1, 0x30),
+					datamodel.Num("eref", 3, 0x000001),
+				), 8),
+		),
+	}
+}

@@ -1,0 +1,221 @@
+package iec104
+
+import "repro/internal/coverage"
+
+// Extended ASDU type identifiers: the monitor- and control-direction types
+// the reference implementation decodes beyond the basic set.
+const (
+	typeMDpNa = 3   // M_DP_NA_1 double point information
+	typeMMeNc = 13  // M_ME_NC_1 measured value, short float
+	typeMItNa = 15  // M_IT_NA_1 integrated totals (counters)
+	typeCDcNa = 46  // C_DC_NA_1 double command
+	typeCRdNa = 102 // C_RD_NA_1 read command
+	typeCTsNa = 104 // C_TS_NA_1 test command
+)
+
+// extendedState holds the banks served by the extended types.
+type extendedState struct {
+	doublePoints [64]byte // 0 indeterminate, 1 off, 2 on, 3 indeterminate
+	floats       [64]float32
+	totals       [32]uint32
+}
+
+// dispatchExtended decodes the extended type identifiers; returns false
+// when the type id is not handled here.
+func (s *Slave) dispatchExtended(tr *coverage.Tracer, typeID byte, body []byte, n int, sequence bool, cot byte) bool {
+	switch typeID {
+	case typeMDpNa:
+		s.hit(tr, 48)
+		s.decodeDoublePoints(tr, body, n, sequence)
+	case typeMMeNc:
+		s.hit(tr, 49)
+		s.decodeFloats(tr, body, n)
+	case typeMItNa:
+		s.hit(tr, 50)
+		s.decodeTotals(tr, body, n)
+	case typeCDcNa:
+		s.hit(tr, 51)
+		s.doubleCommand(tr, body, cot)
+	case typeCRdNa:
+		s.hit(tr, 52)
+		s.readCommand(tr, body, cot)
+	case typeCTsNa:
+		s.hit(tr, 53)
+		s.testCommand(tr, body, cot)
+	default:
+		return false
+	}
+	return true
+}
+
+// decodeDoublePoints parses M_DP_NA_1: IOA + DIQ per object (or packed in
+// sequence mode, sharing the single-point sequence layout).
+func (s *Slave) decodeDoublePoints(tr *coverage.Tracer, body []byte, n int, sequence bool) {
+	if sequence {
+		if len(body) < 3+n {
+			s.hit(tr, 54)
+			return
+		}
+		base := ioa(body)
+		for i := 0; i < n; i++ {
+			if base+i < len(s.ext.doublePoints) {
+				s.hit(tr, 55)
+				s.ext.doublePoints[base+i] = body[3+i] & 0x03
+			}
+		}
+		return
+	}
+	if len(body) < 4*n {
+		s.hit(tr, 56)
+		return
+	}
+	for i := 0; i < n; i++ {
+		obj := body[4*i:]
+		a := ioa(obj)
+		if a >= len(s.ext.doublePoints) {
+			s.hit(tr, 57)
+			continue
+		}
+		dpi := obj[3] & 0x03
+		if dpi == 0 || dpi == 3 {
+			s.hit(tr, 58) // indeterminate states take the quality branch
+		}
+		s.ext.doublePoints[a] = dpi
+	}
+}
+
+// decodeFloats parses M_ME_NC_1: IOA + IEEE754 short float + QDS.
+func (s *Slave) decodeFloats(tr *coverage.Tracer, body []byte, n int) {
+	const objLen = 8 // 3 IOA + 4 float + 1 QDS
+	if len(body) < objLen*n {
+		s.hit(tr, 59)
+		return
+	}
+	for i := 0; i < n; i++ {
+		obj := body[objLen*i:]
+		a := ioa(obj)
+		bits := uint32(obj[3]) | uint32(obj[4])<<8 | uint32(obj[5])<<16 | uint32(obj[6])<<24
+		// NaN/Inf screening: exponent all ones.
+		if bits&0x7F800000 == 0x7F800000 {
+			s.hit(tr, 60)
+			continue
+		}
+		if a < len(s.ext.floats) {
+			s.hit(tr, 61)
+			s.ext.floats[a] = floatFromBits(bits)
+		}
+	}
+}
+
+// floatFromBits avoids importing math for one conversion.
+func floatFromBits(bits uint32) float32 {
+	// Manual IEEE754 decode keeps the target stdlib-free beyond fmt.
+	sign := float32(1)
+	if bits&0x80000000 != 0 {
+		sign = -1
+	}
+	exp := int((bits >> 23) & 0xFF)
+	frac := bits & 0x7FFFFF
+	mant := float32(frac) / (1 << 23)
+	if exp == 0 {
+		return sign * mant * pow2(-126)
+	}
+	return sign * (1 + mant) * pow2(exp-127)
+}
+
+func pow2(e int) float32 {
+	out := float32(1)
+	for ; e > 0; e-- {
+		out *= 2
+	}
+	for ; e < 0; e++ {
+		out /= 2
+	}
+	return out
+}
+
+// decodeTotals parses M_IT_NA_1: IOA + 4-byte counter + sequence byte.
+func (s *Slave) decodeTotals(tr *coverage.Tracer, body []byte, n int) {
+	const objLen = 8
+	if len(body) < objLen*n {
+		s.hit(tr, 62)
+		return
+	}
+	for i := 0; i < n; i++ {
+		obj := body[objLen*i:]
+		a := ioa(obj)
+		if a >= len(s.ext.totals) {
+			s.hit(tr, 63)
+			continue
+		}
+		v := uint32(obj[3]) | uint32(obj[4])<<8 | uint32(obj[5])<<16 | uint32(obj[6])<<24
+		if obj[7]&0x80 != 0 {
+			s.hit(tr, 64) // invalid counter flag
+			continue
+		}
+		s.ext.totals[a] = v
+	}
+}
+
+// doubleCommand executes C_DC_NA_1: DCS 1 = off, 2 = on; 0/3 are invalid.
+func (s *Slave) doubleCommand(tr *coverage.Tracer, body []byte, cot byte) {
+	if len(body) < 4 {
+		s.hit(tr, 65)
+		return
+	}
+	if cot != 6 {
+		s.hit(tr, 66)
+		return
+	}
+	a := ioa(body)
+	dcs := body[3] & 0x03
+	if a >= len(s.ext.doublePoints) {
+		s.hit(tr, 67)
+		return
+	}
+	if dcs == 0 || dcs == 3 {
+		s.hit(tr, 68)
+		return
+	}
+	if body[3]&0x80 != 0 { // select
+		s.hit(tr, 69)
+		return
+	}
+	s.hit(tr, 70)
+	s.ext.doublePoints[a] = dcs
+}
+
+// readCommand serves C_RD_NA_1: request a single object's value.
+func (s *Slave) readCommand(tr *coverage.Tracer, body []byte, cot byte) {
+	if len(body) < 3 {
+		s.hit(tr, 71)
+		return
+	}
+	if cot != 5 { // request
+		s.hit(tr, 72)
+		return
+	}
+	a := ioa(body)
+	if a < len(s.points) {
+		s.hit(tr, 73)
+	} else {
+		s.hit(tr, 74)
+	}
+}
+
+// testCommand serves C_TS_NA_1: the fixed test pattern 0xAA55.
+func (s *Slave) testCommand(tr *coverage.Tracer, body []byte, cot byte) {
+	if len(body) < 5 {
+		s.hit(tr, 75)
+		return
+	}
+	if cot != 6 {
+		s.hit(tr, 76)
+		return
+	}
+	if body[3] != 0xAA || body[4] != 0x55 {
+		s.hit(tr, 77)
+		return
+	}
+	s.hit(tr, 78)
+}

@@ -1,0 +1,122 @@
+package iec104
+
+import "repro/internal/datamodel"
+
+// Models returns the IEC 60870-5-104 Pit-equivalent. The APCI length field
+// is a size-of relation over the control octets and the ASDU — the same
+// shape the real APCI carries. The I-frame models share the ASDU header
+// layout (type id token, VSQ, COT, common address), so their header chunks
+// are mutual donors across type ids, while the U/S-frame models exercise
+// the connection state machine.
+func (s *Slave) Models() []*datamodel.Model {
+	return IEC104Models()
+}
+
+// apci wraps body chunks behind the 0x68 start byte and the length field.
+func apci(name string, body ...*datamodel.Chunk) *datamodel.Model {
+	fields := []*datamodel.Chunk{
+		datamodel.Num("start", 1, 0x68).AsToken(),
+		datamodel.Num("apduLen", 1, 0).WithRel(datamodel.SizeOf, "apdu", 0),
+		datamodel.Blk("apdu", body...),
+	}
+	return datamodel.NewModel(name, fields...)
+}
+
+// asduIFrame builds an I-format model for one ASDU type id.
+func asduIFrame(name string, typeID uint64, objects ...*datamodel.Chunk) *datamodel.Model {
+	body := []*datamodel.Chunk{
+		// Send/receive sequence numbers; LSB of ctrl1 clear = I format.
+		datamodel.Num("ctrl1", 1, 0x00),
+		datamodel.Num("ctrl2", 1, 0x00),
+		datamodel.Num("ctrl3", 1, 0x00),
+		datamodel.Num("ctrl4", 1, 0x00),
+		datamodel.Num("typeId", 1, typeID).AsToken(),
+		datamodel.Num("vsq", 1, 1),
+		datamodel.Num("cot", 1, 6),
+		datamodel.Num("originator", 1, 0),
+		datamodel.NumLE("commonAddr", 2, 1),
+	}
+	body = append(body, objects...)
+	return apci(name, body...)
+}
+
+// IEC104Models builds the model set without a slave instance.
+func IEC104Models() []*datamodel.Model {
+	return []*datamodel.Model{
+		apci("UFrameStart",
+			datamodel.Num("ctrl1", 1, 0x07).WithLegal(0x07, 0x13, 0x43, 0x0B, 0x23, 0x83).AsToken(),
+			datamodel.Num("ctrl2", 1, 0),
+			datamodel.Num("ctrl3", 1, 0),
+			datamodel.Num("ctrl4", 1, 0),
+		),
+		apci("SFrame",
+			datamodel.Num("ctrl1", 1, 0x01).AsToken(),
+			datamodel.Num("ctrl2", 1, 0),
+			datamodel.Num("ctrl3", 1, 0),
+			datamodel.Num("ctrl4", 1, 0),
+		),
+		asduIFrame("SinglePoint", typeMSpNa,
+			datamodel.BytesVar("objects", 4, 32, []byte{0x01, 0x00, 0x00, 0x01}),
+		),
+		asduIFrame("MeasuredValue", typeMMeNa,
+			datamodel.BytesVar("objects", 6, 36, []byte{0x02, 0x00, 0x00, 0x34, 0x12, 0x00}),
+		),
+		asduIFrame("SingleCommand", typeCScNa,
+			datamodel.Bytes("ioa", 3, []byte{0x03, 0x00, 0x00}),
+			datamodel.Num("sco", 1, 1),
+		),
+		asduIFrame("Interrogation", typeCIcNa,
+			datamodel.Bytes("ioa", 3, []byte{0x00, 0x00, 0x00}),
+			datamodel.Num("qoi", 1, 20),
+		),
+		asduIFrame("ClockSync", typeCCsNa,
+			datamodel.Bytes("ioa", 3, []byte{0x00, 0x00, 0x00}),
+			datamodel.Bytes("cp56", 7, []byte{0x00, 0x00, 0x1E, 0x0A, 0x0C, 0x06, 0x14}),
+		),
+		asduIFrame("DoublePoint", typeMDpNa,
+			datamodel.BytesVar("objects", 4, 32, []byte{0x04, 0x00, 0x00, 0x02}),
+		),
+		asduIFrame("ShortFloat", typeMMeNc,
+			datamodel.BytesVar("objects", 8, 40, []byte{0x05, 0x00, 0x00, 0x00, 0x00, 0x80, 0x3F, 0x00}),
+		),
+		asduIFrame("IntegratedTotals", typeMItNa,
+			datamodel.BytesVar("objects", 8, 40, []byte{0x06, 0x00, 0x00, 0x2A, 0x00, 0x00, 0x00, 0x01}),
+		),
+		asduIFrame("DoubleCommand", typeCDcNa,
+			datamodel.Bytes("ioa", 3, []byte{0x07, 0x00, 0x00}),
+			datamodel.Num("dcs", 1, 2),
+		),
+		asduIFrameWithCOT("ReadCommand", typeCRdNa, 5,
+			datamodel.Bytes("ioa", 3, []byte{0x01, 0x00, 0x00}),
+		),
+		asduIFrame("TestCommand", typeCTsNa,
+			datamodel.Bytes("ioa", 3, []byte{0x00, 0x00, 0x00}),
+			datamodel.Num("pattern", 2, 0xAA55), // wire bytes 0xAA 0x55
+		),
+	}
+}
+
+// asduIFrameWithCOT is asduIFrame with a non-activation default cause of
+// transmission (the read command requires COT 5).
+func asduIFrameWithCOT(name string, typeID, cot uint64, objects ...*datamodel.Chunk) *datamodel.Model {
+	m := asduIFrame(name, typeID, objects...)
+	var fix func(c *datamodel.Chunk) bool
+	fix = func(c *datamodel.Chunk) bool {
+		if c.Name == "cot" {
+			c.Default = cot
+			return true
+		}
+		for _, ch := range c.Children {
+			if fix(ch) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range m.Fields {
+		if fix(f) {
+			break
+		}
+	}
+	return m
+}

@@ -1,0 +1,136 @@
+// Package iec61850 reimplements the packet-processing core of libiec61850
+// (mz-automation) — an MMS server for IEC 61850 — as an instrumented
+// fuzzing target (paper §V-A, Fig. 4(c)).
+//
+// This is the largest of the six evaluated projects; the paper reports
+// thousands of paths for it, where the others reach hundreds or dozens.
+// The reproduction keeps that scale ordering: a TPKT/COTP/session stack, a
+// recursive BER-TLV decoder, and nine MMS confirmed services over an IED
+// data model (domains, logical nodes, functional-constraint objects, named
+// variable lists).
+//
+// libiec61850 contributed no entries to the paper's Table I, so no
+// vulnerabilities are seeded here; every parser path is bounds-checked.
+package iec61850
+
+import "repro/internal/coverage"
+
+// tlv is one decoded BER element. Low-tag-number elements carry their tag
+// octet verbatim; high-tag-number elements (tag octet 0x1F mask all ones,
+// as MMS file services use) compose the leading octet and the extension
+// octet into a 16-bit value, e.g. fileOpen's [72] is 0xBF48.
+type tlv struct {
+	tag  int
+	val  []byte
+	rest []byte // bytes following the element
+}
+
+// berDecoder wraps TLV decoding with instrumentation: length-form branches
+// and error branches are the bulk of an MMS parser's control flow, so they
+// are all counted.
+type berDecoder struct {
+	s  *Server
+	tr *coverage.Tracer
+}
+
+// next decodes the element at the front of data. ok is false on any
+// malformed encoding; every rejection is a distinct branch.
+func (d *berDecoder) next(data []byte) (tlv, bool) {
+	if len(data) < 2 {
+		d.s.hit(d.tr, 200)
+		return tlv{}, false
+	}
+	tag := int(data[0])
+	idx := 1
+	if data[0]&0x1F == 0x1F { // high tag number form
+		d.s.hit(d.tr, 212)
+		if len(data) < 3 || data[1]&0x80 != 0 {
+			// Multi-octet tag numbers are rejected (MMS stays
+			// below 128).
+			d.s.hit(d.tr, 213)
+			return tlv{}, false
+		}
+		tag = int(data[0])<<8 | int(data[1])
+		idx = 2
+	}
+	if len(data) < idx+1 {
+		d.s.hit(d.tr, 214)
+		return tlv{}, false
+	}
+	lengthOctet := data[idx]
+	offset := idx + 1
+	var length int
+	switch {
+	case lengthOctet < 0x80: // short form
+		d.s.hit(d.tr, 201)
+		length = int(lengthOctet)
+	case lengthOctet == 0x81: // long form, 1 octet
+		if len(data) < offset+1 {
+			d.s.hit(d.tr, 202)
+			return tlv{}, false
+		}
+		d.s.hit(d.tr, 203)
+		length = int(data[offset])
+		offset++
+	case lengthOctet == 0x82: // long form, 2 octets
+		if len(data) < offset+2 {
+			d.s.hit(d.tr, 204)
+			return tlv{}, false
+		}
+		d.s.hit(d.tr, 205)
+		length = int(data[offset])<<8 | int(data[offset+1])
+		offset += 2
+	default: // indefinite or over-long forms are rejected
+		d.s.hit(d.tr, 206)
+		return tlv{}, false
+	}
+	if offset+length > len(data) {
+		d.s.hit(d.tr, 207)
+		return tlv{}, false
+	}
+	return tlv{tag: tag, val: data[offset : offset+length], rest: data[offset+length:]}, true
+}
+
+// expect decodes the next element and checks its tag.
+func (d *berDecoder) expect(data []byte, tag int) (tlv, bool) {
+	e, ok := d.next(data)
+	if !ok {
+		return e, false
+	}
+	if e.tag != tag {
+		d.s.hit(d.tr, 208)
+		return e, false
+	}
+	return e, true
+}
+
+// uintVal decodes an unsigned integer payload of up to 4 bytes.
+func (d *berDecoder) uintVal(e tlv) (uint32, bool) {
+	if len(e.val) == 0 || len(e.val) > 4 {
+		d.s.hit(d.tr, 209)
+		return 0, false
+	}
+	var v uint32
+	for _, b := range e.val {
+		v = v<<8 | uint32(b)
+	}
+	return v, true
+}
+
+// visibleString validates an MMS identifier payload: ASCII letters, digits,
+// '$' and '_' — the character set of IEC 61850 object references.
+func (d *berDecoder) visibleString(e tlv) (string, bool) {
+	if len(e.val) == 0 || len(e.val) > 64 {
+		d.s.hit(d.tr, 210)
+		return "", false
+	}
+	for _, b := range e.val {
+		ok := b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' ||
+			b >= '0' && b <= '9' || b == '$' || b == '_'
+		if !ok {
+			d.s.hit(d.tr, 211)
+			return "", false
+		}
+	}
+	return string(e.val), true
+}

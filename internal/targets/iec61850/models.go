@@ -1,0 +1,247 @@
+package iec61850
+
+import "repro/internal/datamodel"
+
+// Models returns the libiec61850 Pit-equivalent. MMS is BER-encoded, so
+// every nesting level carries its own length octet — each one a size-of
+// relation the File Fixup module must re-establish after chunk surgery.
+// These are the deepest models of the six targets, matching the project's
+// code-scale position in Fig. 4.
+func (s *Server) Models() []*datamodel.Model {
+	return IEC61850Models()
+}
+
+// ber wraps body chunks as one TLV: tag, short-form length, value. An empty
+// body yields a zero-length element (BER NULL-style encoding).
+func ber(name string, tag uint64, body ...*datamodel.Chunk) *datamodel.Chunk {
+	if len(body) == 0 {
+		return datamodel.Blk(name,
+			datamodel.Num(name+"Tag", 1, tag),
+			datamodel.Num(name+"Len", 1, 0),
+		)
+	}
+	return datamodel.Blk(name,
+		datamodel.Num(name+"Tag", 1, tag),
+		datamodel.Num(name+"Len", 1, 0).WithRel(datamodel.SizeOf, name+"Val", 0),
+		datamodel.Blk(name+"Val", body...),
+	)
+}
+
+// berToken is ber with the tag marked as the packet-type token.
+func berToken(name string, tag uint64, body ...*datamodel.Chunk) *datamodel.Chunk {
+	b := ber(name, tag, body...)
+	b.Children[0].Token = true
+	return b
+}
+
+// berHighToken wraps body chunks as one TLV with a high-tag-number tag
+// (two octets on the wire, e.g. fileOpen's 0xBF 0x48), marked as the
+// packet-type token.
+func berHighToken(name string, tag uint64, body ...*datamodel.Chunk) *datamodel.Chunk {
+	if len(body) == 0 {
+		return datamodel.Blk(name,
+			datamodel.Num(name+"Tag", 2, tag).AsToken(),
+			datamodel.Num(name+"Len", 1, 0),
+		)
+	}
+	return datamodel.Blk(name,
+		datamodel.Num(name+"Tag", 2, tag).AsToken(),
+		datamodel.Num(name+"Len", 1, 0).WithRel(datamodel.SizeOf, name+"Val", 0),
+		datamodel.Blk(name+"Val", body...),
+	)
+}
+
+// berStr encodes an MMS VisibleString (tag 0x1A) chunk.
+func berStr(name, def string, max int) *datamodel.Chunk {
+	return datamodel.Blk(name,
+		datamodel.Num(name+"Tag", 1, 0x1A),
+		datamodel.Num(name+"Len", 1, 0).WithRel(datamodel.SizeOf, name+"Val", 0),
+		datamodel.StrVar(name+"Val", 1, max, def),
+	)
+}
+
+// objectNameChunks builds a domain-specific ObjectName [1].
+func objectNameChunks(prefix, dom, item string) *datamodel.Chunk {
+	return ber(prefix+"Name", 0xA1,
+		berStr(prefix+"Dom", dom, 32),
+		berStr(prefix+"Item", item, 32),
+	)
+}
+
+// dataTSDU wraps an MMS chunk in session DATA + COTP DT + TPKT framing.
+func dataTSDU(name string, mms *datamodel.Chunk) *datamodel.Model {
+	return datamodel.NewModel(name,
+		datamodel.Num("tpktVersion", 1, 0x03),
+		datamodel.Num("tpktReserved", 1, 0x00),
+		datamodel.Num("tpktLen", 2, 0).WithRel(datamodel.SizeOf, "rest", 4),
+		datamodel.Blk("rest",
+			datamodel.Num("cotpHdrLen", 1, 2),
+			datamodel.Num("cotpType", 1, 0xF0).AsToken(),
+			datamodel.Num("cotpFlags", 1, 0x80),
+			// GIVE-TOKENS + DATA SPDU prefix: constant framing, so
+			// token fields (Peach pits mark literal bytes as tokens,
+			// which keeps foreign packets from cracking here).
+			datamodel.Num("spduGive", 1, 0x01).AsToken(),
+			datamodel.Num("spduGiveLen", 1, 0x00).AsToken(),
+			datamodel.Num("spduData", 1, 0x01).AsToken(),
+			datamodel.Num("spduDataLen", 1, 0x00).AsToken(),
+			mms,
+		),
+	)
+}
+
+// confirmedReq wraps a service TLV in the confirmed-request envelope.
+func confirmedReq(name string, invokeID uint64, svc *datamodel.Chunk) *datamodel.Model {
+	return dataTSDU(name,
+		berToken("pdu", tagConfirmedReq,
+			ber("invoke", 0x02, datamodel.Num("invokeVal", 1, invokeID)),
+			svc,
+		),
+	)
+}
+
+// IEC61850Models builds the model set without a server instance.
+func IEC61850Models() []*datamodel.Model {
+	const dom = "simpleIOGenericIO"
+	return []*datamodel.Model{
+		// COTP connection request.
+		datamodel.NewModel("COTPConnect",
+			datamodel.Num("tpktVersion", 1, 0x03),
+			datamodel.Num("tpktReserved", 1, 0x00),
+			datamodel.Num("tpktLen", 2, 0).WithRel(datamodel.SizeOf, "rest", 4),
+			datamodel.Blk("rest",
+				datamodel.Num("cotpHdrLen", 1, 6),
+				datamodel.Num("cotpType", 1, 0xE0).AsToken(),
+				datamodel.Bytes("cotpParams", 5, []byte{0x00, 0x00, 0x00, 0x00, 0x00}),
+			),
+		),
+		// Session CONNECT carrying the MMS initiate-request.
+		datamodel.NewModel("SessionInitiate",
+			datamodel.Num("tpktVersion", 1, 0x03),
+			datamodel.Num("tpktReserved", 1, 0x00),
+			datamodel.Num("tpktLen", 2, 0).WithRel(datamodel.SizeOf, "rest", 4),
+			datamodel.Blk("rest",
+				datamodel.Num("cotpHdrLen", 1, 2),
+				datamodel.Num("cotpType", 1, 0xF0),
+				datamodel.Num("cotpFlags", 1, 0x80),
+				datamodel.Num("spduType", 1, 0x0D).AsToken(),
+				datamodel.Num("spduParamLen", 1, 0).WithRel(datamodel.SizeOf, "spduParams", 0),
+				datamodel.BytesVar("spduParams", 0, 16, []byte{0x05, 0x06}),
+				berToken("pdu", tagInitiateReq,
+					ber("localDetail", 0x80, datamodel.Num("ldVal", 2, 65000)),
+					ber("maxCalling", 0x81, datamodel.Num("mcgVal", 1, 5)),
+					ber("maxCalled", 0x82, datamodel.Num("mcdVal", 1, 5)),
+				),
+			),
+		),
+		dataTSDU("Conclude", berToken("pdu", tagConcludeReq)),
+		confirmedReq("Status", 1,
+			berToken("status", svcStatus, datamodel.Num("extended", 1, 0)),
+		),
+		confirmedReq("Identify", 2, berToken("identify", svcIdentify)),
+		confirmedReq("GetNameListDomains", 3,
+			berToken("gnl", svcGetNameList,
+				ber("objectClass", 0x80, datamodel.Num("classVal", 1, 9)),
+				ber("scope", 0xA1, ber("vmd", 0x80)),
+			),
+		),
+		confirmedReq("GetNameListVariables", 4,
+			berToken("gnl", svcGetNameList,
+				ber("objectClass", 0x80, datamodel.Num("classVal", 1, 0).WithLegal(0, 2)),
+				// Scope [1] wrapping the domain-specific choice [1].
+				ber("scope", 0xA1,
+					ber("scopeDom", 0x81, datamodel.StrVar("scopeDomName", 1, 32, dom)),
+				),
+			),
+		),
+		confirmedReq("ReadVariable", 5,
+			berToken("read", svcRead,
+				ber("spec", 0xA1,
+					ber("listOfVar", 0xA0,
+						ber("entry", 0x30,
+							objectNameChunks("var", dom, "GGIO1$ST$Ind1$stVal"),
+						),
+					),
+				),
+			),
+		),
+		confirmedReq("ReadNVL", 6,
+			berToken("read", svcRead,
+				ber("nvlSpec", 0xA2,
+					objectNameChunks("nvl", dom, "Events"),
+				),
+			),
+		),
+		confirmedReq("WriteVariable", 7,
+			berToken("write", svcWrite,
+				ber("spec", 0xA1,
+					ber("listOfVar", 0xA0,
+						ber("entry", 0x30,
+							objectNameChunks("var", dom, "GGIO1$SP$NamPlt$vendor"),
+						),
+					),
+				),
+				ber("listOfData", 0xA0,
+					ber("value", 0x8A, datamodel.StrVar("valueStr", 1, 16, "ACME")),
+				),
+			),
+		),
+		confirmedReq("GetVarAttributes", 8,
+			berToken("gva", svcGetVarAttrs,
+				objectNameChunks("var", dom, "LLN0$ST$Mod$stVal"),
+			),
+		),
+		confirmedReq("DefineNVL", 9,
+			berToken("dnvl", svcDefineNVL,
+				objectNameChunks("nvl", dom, "MyList"),
+				ber("members", 0xA0,
+					ber("m1", 0x30, objectNameChunks("mv1", dom, "GGIO1$ST$Ind1$stVal")),
+					ber("m2", 0x30, objectNameChunks("mv2", dom, "LLN0$ST$Beh$stVal")),
+				),
+			),
+		),
+		confirmedReq("GetNVLAttributes", 10,
+			berToken("gnvl", svcGetNVLAttrs,
+				objectNameChunks("nvl", dom, "Events"),
+			),
+		),
+		confirmedReq("DeleteNVL", 11,
+			berToken("delnvl", svcDeleteNVL,
+				objectNameChunks("nvl", dom, "MyList"),
+			),
+		),
+		confirmedReq("FileOpen", 12,
+			berHighToken("fopen", svcFileOpen,
+				ber("fname", 0xA0,
+					datamodel.Blk("gname",
+						datamodel.Num("gnameTag", 1, 0x19),
+						datamodel.Num("gnameLen", 1, 0).WithRel(datamodel.SizeOf, "gnameVal", 0),
+						datamodel.StrVar("gnameVal", 1, 32, "COMTRADE/R1.CFG"),
+					),
+				),
+				ber("initPos", 0x81, datamodel.Num("posVal", 1, 0)),
+			),
+		),
+		confirmedReq("FileRead", 13,
+			berHighToken("fread", svcFileRead,
+				ber("frsm", 0x02, datamodel.Num("frsmVal", 1, 1)),
+			),
+		),
+		confirmedReq("FileClose", 14,
+			berHighToken("fclose", svcFileClose,
+				ber("frsm", 0x02, datamodel.Num("frsmVal", 1, 1)),
+			),
+		),
+		confirmedReq("FileDirectory", 15,
+			berHighToken("fdir", svcFileDirectory,
+				ber("fspec", 0xA0,
+					datamodel.Blk("gdir",
+						datamodel.Num("gdirTag", 1, 0x19),
+						datamodel.Num("gdirLen", 1, 0).WithRel(datamodel.SizeOf, "gdirVal", 0),
+						datamodel.StrVar("gdirVal", 1, 32, "COMTRADE"),
+					),
+				),
+			),
+		),
+	}
+}

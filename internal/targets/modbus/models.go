@@ -1,0 +1,156 @@
+package modbus
+
+import "repro/internal/datamodel"
+
+// Models returns the Modbus TCP Pit-equivalent: one data model per packet
+// type, keyed by function code (the "function code" field of §III). Each
+// model wraps an MBAP header whose length field is a size-of relation over
+// the unit id and PDU — the integrity constraint File Fixup must maintain.
+//
+// Matching the paper's note that "the input model does not have to be
+// elaborate" (§V-A), payload bodies are coarse-grained: addresses and
+// quantities are numbers, data sections are variable blobs.
+func (s *Server) Models() []*datamodel.Model {
+	return ModbusModels()
+}
+
+// mbap wraps a PDU model body in the MBAP header. The length relation spans
+// a synthetic block containing unit id + PDU so the fixup engine measures
+// exactly what the header's length field counts.
+func mbap(name string, fc uint64, body ...*datamodel.Chunk) *datamodel.Model {
+	pduChildren := append([]*datamodel.Chunk{
+		datamodel.Num("fc", 1, fc).AsToken(),
+	}, body...)
+	return datamodel.NewModel(name,
+		datamodel.Num("txn", 2, 1),
+		datamodel.Num("proto", 2, 0).AsToken(),
+		datamodel.Num("length", 2, 0).WithRel(datamodel.SizeOf, "tail", 0),
+		datamodel.Blk("tail",
+			datamodel.Num("unit", 1, 0xFF).WithLegal(0, 1, 0xFF),
+			datamodel.Blk("pdu", pduChildren...),
+		),
+	)
+}
+
+// ModbusModels builds the model set without a server instance.
+func ModbusModels() []*datamodel.Model {
+	return []*datamodel.Model{
+		mbap("ReadCoils", fcReadCoils,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 8),
+		),
+		mbap("ReadDiscreteInputs", fcReadDiscreteInputs,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 8),
+		),
+		mbap("ReadHoldingRegisters", fcReadHolding,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 4),
+		),
+		mbap("ReadInputRegisters", fcReadInput,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 4),
+		),
+		mbap("WriteSingleCoil", fcWriteSingleCoil,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("value", 2, 0xFF00).WithLegal(0x0000, 0xFF00),
+		),
+		mbap("WriteSingleRegister", fcWriteSingleRegister,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("value", 2, 0x1234),
+		),
+		mbap("ReadExceptionStatus", fcReadExceptionStatus),
+		mbap("Diagnostics", fcDiagnostics,
+			datamodel.Num("sub", 2, 0).WithLegal(
+				diagReturnQueryData, diagRestartComms, diagChangeASCIIDelim,
+				diagForceListenOnly, diagClearCounters, diagBusMessageCount,
+				diagBusCommErrorCount,
+			),
+			datamodel.Num("data", 2, 0),
+		),
+		mbap("GetCommEventCounter", fcGetCommEventCounter),
+		mbap("WriteMultipleCoils", fcWriteMultipleCoils,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 16),
+			datamodel.Num("byteCount", 1, 0).WithRel(datamodel.SizeOf, "bits", 0),
+			datamodel.BytesVar("bits", 1, 0xF6, []byte{0xFF, 0x0F}),
+		),
+		mbap("WriteMultipleRegisters", fcWriteMultipleRegs,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 2),
+			datamodel.Num("byteCount", 1, 0).WithRel(datamodel.SizeOf, "values", 0),
+			datamodel.BytesVar("values", 2, 0xF6, []byte{0x00, 0x01, 0x00, 0x02}),
+		),
+		mbap("ReportServerID", fcReportServerID),
+		mbap("MaskWriteRegister", fcMaskWriteRegister,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("andMask", 2, 0xFFFF),
+			datamodel.Num("orMask", 2, 0),
+		),
+		mbap("ReadWriteMultipleRegisters", fcReadWriteMultipleRegs,
+			datamodel.Num("readAddr", 2, 0),
+			datamodel.Num("readQty", 2, 2),
+			datamodel.Num("writeAddr", 2, 0),
+			datamodel.Num("writeQty", 2, 0),
+			datamodel.Num("byteCount", 1, 0).WithRel(datamodel.SizeOf, "writeData", 0),
+			datamodel.BytesVar("writeData", 0, 0xF2, nil),
+		),
+		mbap("ReadFileRecord", fcReadFileRecord,
+			datamodel.Num("byteCount", 1, 0).WithRel(datamodel.SizeOf, "subReqs", 0),
+			datamodel.Rep("subReqs", datamodel.Blk("subReq",
+				datamodel.Num("refType", 1, refTypeFileRecord),
+				datamodel.Num("fileNo", 2, 1),
+				datamodel.Num("recNo", 2, 0),
+				datamodel.Num("recLen", 2, 2),
+			), 4),
+		),
+		mbap("WriteFileRecord", fcWriteFileRecord,
+			datamodel.Num("byteCount", 1, 0).WithRel(datamodel.SizeOf, "subReq", 0),
+			datamodel.Blk("subReq",
+				datamodel.Num("refType", 1, refTypeFileRecord),
+				datamodel.Num("fileNo", 2, 1),
+				datamodel.Num("recNo", 2, 0),
+				datamodel.Num("recLen", 2, 0).WithRel(datamodel.CountOf, "records", 0),
+				datamodel.Rep("records", datamodel.Num("record", 2, 0xBEEF), 8),
+			),
+		),
+		mbap("ReadFIFOQueue", fcReadFIFOQueue,
+			datamodel.Num("pointer", 2, 0),
+		),
+		mbap("ReadDeviceID", fcEncapsulated,
+			datamodel.Num("mei", 1, meiDeviceID),
+			datamodel.Num("readCode", 1, 1).WithLegal(1, 2, 3, 4),
+			datamodel.Num("objectId", 1, 0),
+		),
+		// RTU serial family: slave address + PDU + CRC16 (little-endian
+		// on the wire) — the Fig. 1-style Fixup constraint of Modbus.
+		rtu("RTUReadHolding", fcReadHolding,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("qty", 2, 4),
+		),
+		rtu("RTUWriteSingleRegister", fcWriteSingleRegister,
+			datamodel.Num("addr", 2, 0),
+			datamodel.Num("value", 2, 0x1234),
+		),
+		rtu("RTUDiagnostics", fcDiagnostics,
+			datamodel.Num("sub", 2, 0).WithLegal(
+				diagReturnQueryData, diagRestartComms, diagForceListenOnly,
+				diagClearCounters,
+			),
+			datamodel.Num("data", 2, 0),
+		),
+	}
+}
+
+// rtu wraps a PDU in the Modbus RTU serial frame: slave address, PDU,
+// CRC16 transmitted little-endian.
+func rtu(name string, fc uint64, body ...*datamodel.Chunk) *datamodel.Model {
+	pduChildren := append([]*datamodel.Chunk{
+		datamodel.Num("fc", 1, fc).AsToken(),
+	}, body...)
+	return datamodel.NewModel(name,
+		datamodel.Num("slave", 1, 1).WithLegal(0, 1),
+		datamodel.Blk("pdu", pduChildren...),
+		datamodel.NumLE("crc", 2, 0).WithFix(datamodel.CRC16Modbus, "slave", "pdu"),
+	)
+}

@@ -1,0 +1,91 @@
+package targets_test
+
+import (
+	"testing"
+
+	"repro/internal/targets"
+
+	_ "repro/internal/targets/cs101"
+	_ "repro/internal/targets/dnp3"
+	_ "repro/internal/targets/iccp"
+	_ "repro/internal/targets/iec104"
+	_ "repro/internal/targets/iec61850"
+	_ "repro/internal/targets/modbus"
+)
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := targets.Names()
+	want := []string{"IEC104", "lib60870", "libiccp", "libiec61850", "libmodbus", "opendnp3"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestNewReturnsFreshInstances(t *testing.T) {
+	a, err := targets.New("libmodbus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := targets.New("libmodbus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("factory returned a shared instance")
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := targets.New("unknown"); err == nil {
+		t.Fatal("unknown target should error")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	targets.Register("libmodbus", nil)
+}
+
+func TestEveryTargetExposesValidModels(t *testing.T) {
+	for _, name := range targets.Names() {
+		tgt, err := targets.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models := tgt.Models()
+		if len(models) < 4 {
+			t.Fatalf("%s exposes only %d models", name, len(models))
+		}
+		for _, m := range models {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s model %s invalid: %v", name, m.Name, err)
+			}
+			pkt := m.Generate().Bytes()
+			if _, err := m.Crack(pkt); err != nil {
+				t.Fatalf("%s model %s does not round trip: %v", name, m.Name, err)
+			}
+		}
+	}
+}
+
+func TestModelNamesUniquePerTarget(t *testing.T) {
+	for _, name := range targets.Names() {
+		tgt, _ := targets.New(name)
+		seen := map[string]bool{}
+		for _, m := range tgt.Models() {
+			if seen[m.Name] {
+				t.Fatalf("%s has duplicate model name %s", name, m.Name)
+			}
+			seen[m.Name] = true
+		}
+	}
+}

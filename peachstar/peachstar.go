@@ -1,0 +1,187 @@
+// Package peachstar is the public API of this repository: a Go
+// reproduction of Peach* — coverage-guided packet crack and generation for
+// ICS protocol fuzzing (Luo et al., DAC 2020).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - data models (the Pit equivalent) via Model/Chunk builders or the
+//     XML Pit parser,
+//   - instrumented targets (the six ICS protocol servers the paper
+//     evaluates, or any user type implementing Target),
+//   - the fuzzing engine in both configurations the paper compares
+//     (baseline Peach and Peach*),
+//   - the experiment harness that regenerates the paper's figures and
+//     tables.
+//
+// # Quickstart
+//
+//	tgt, _ := peachstar.NewTarget("libmodbus")
+//	campaign, _ := peachstar.NewCampaign(peachstar.Options{
+//		Target:   tgt,
+//		Strategy: peachstar.PeachStar,
+//		Seed:     1,
+//	})
+//	campaign.Run(50000)
+//	fmt.Println(campaign.Stats())
+//	for _, c := range campaign.Crashes() {
+//		fmt.Printf("%s at %s (packet %x)\n", c.Kind, c.Site, c.Example)
+//	}
+package peachstar
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/crash"
+	"repro/internal/datamodel"
+	"repro/internal/pit"
+	"repro/internal/targets"
+
+	// Register the six evaluated protocol targets.
+	_ "repro/internal/targets/cs101"
+	_ "repro/internal/targets/dnp3"
+	_ "repro/internal/targets/iccp"
+	_ "repro/internal/targets/iec104"
+	_ "repro/internal/targets/iec61850"
+	_ "repro/internal/targets/modbus"
+)
+
+// Strategy selects the generation strategy of a campaign.
+type Strategy = core.Strategy
+
+// The two strategies the paper compares, plus the §VII future-work
+// extension pair (byte-level mutation fuzzing, with and without
+// coverage-guided packet crack).
+const (
+	// Peach is the baseline generation-based fuzzing loop.
+	Peach = core.StrategyPeach
+	// PeachStar adds coverage feedback, packet cracking and
+	// semantic-aware generation — the paper's contribution.
+	PeachStar = core.StrategyPeachStar
+	// MutFuzz is an AFL-style byte-level fuzzer over the same targets.
+	MutFuzz = core.StrategyMutation
+	// MutFuzzStar adds chunk-aware donation to MutFuzz — the paper's
+	// technique ported to a mutation-based fuzzer (§VII).
+	MutFuzzStar = core.StrategyMutationStar
+)
+
+// Model is a packet data model (the Pit DataModel equivalent).
+type Model = datamodel.Model
+
+// Chunk is one construction rule in a data model tree.
+type Chunk = datamodel.Chunk
+
+// Target is an instrumented protocol program plus its format specification.
+type Target = targets.Target
+
+// Tracer records edge coverage during one execution; custom targets call
+// its Hit method at branch points.
+type Tracer = coverage.Tracer
+
+// BlockID identifies one instrumented basic block of a custom target.
+type BlockID = coverage.BlockID
+
+// Stats is a campaign progress snapshot.
+type Stats = core.Stats
+
+// CrashRecord is one unique fault found by a campaign.
+type CrashRecord = crash.Record
+
+// Puzzle is one corpus entry produced by cracking a valuable packet.
+type Puzzle = corpus.Puzzle
+
+// Options configures a campaign.
+type Options struct {
+	// Target is the protocol program under test. Use NewTarget for the
+	// six built-in projects or provide any targets.Target.
+	Target Target
+	// Models overrides the target's own model set when non-nil (for
+	// fuzzing a built-in target with a custom Pit).
+	Models []*Model
+	// Strategy selects Peach or PeachStar. The zero value is Peach.
+	Strategy Strategy
+	// Seed makes the campaign reproducible; equal options and seed give
+	// byte-identical campaigns.
+	Seed uint64
+	// MaxBatch bounds the per-iteration donor product materialization
+	// (0 = engine default).
+	MaxBatch int
+}
+
+// Campaign is one running fuzzing campaign.
+type Campaign struct {
+	eng *core.Engine
+}
+
+// NewCampaign validates options and prepares a campaign.
+func NewCampaign(opts Options) (*Campaign, error) {
+	if opts.Target == nil {
+		return nil, fmt.Errorf("peachstar: Options.Target is required")
+	}
+	models := opts.Models
+	if models == nil {
+		models = opts.Target.Models()
+	}
+	eng, err := core.New(core.Config{
+		Models:   models,
+		Target:   opts.Target,
+		Strategy: opts.Strategy,
+		Seed:     opts.Seed,
+		MaxBatch: opts.MaxBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{eng: eng}, nil
+}
+
+// Run fuzzes until at least execBudget target executions have happened.
+// It may be called repeatedly to extend a campaign.
+func (c *Campaign) Run(execBudget int) {
+	c.eng.Run(execBudget)
+}
+
+// Step performs one engine iteration and returns how many executions it
+// spent — the granularity used for paths-over-time sampling.
+func (c *Campaign) Step() int { return c.eng.Step() }
+
+// Stats returns the current progress snapshot.
+func (c *Campaign) Stats() Stats { return c.eng.Stats() }
+
+// Crashes returns the unique faults found so far, in discovery order.
+func (c *Campaign) Crashes() []*CrashRecord { return c.eng.Crashes().Records() }
+
+// CorpusSize returns the number of puzzles currently stored.
+func (c *Campaign) CorpusSize() int { return c.eng.Corpus().Len() }
+
+// CorpusSignatures lists the construction-rule signatures present in the
+// puzzle corpus — a view into what packet cracking has learned.
+func (c *Campaign) CorpusSignatures() []string { return c.eng.Corpus().Signatures() }
+
+// NewTarget instantiates one of the registered protocol targets by its
+// project name: "libmodbus", "IEC104", "libiec61850", "lib60870",
+// "libiccp", or "opendnp3".
+func NewTarget(name string) (Target, error) { return targets.New(name) }
+
+// TargetNames lists the registered protocol targets.
+func TargetNames() []string { return targets.Names() }
+
+// ParsePit reads an XML Pit format specification into data models.
+func ParsePit(r io.Reader) ([]*Model, error) { return pit.Parse(r) }
+
+// ParsePitString is ParsePit over an in-memory document.
+func ParsePitString(s string) ([]*Model, error) { return pit.ParseString(s) }
+
+// Blocks pre-computes n deterministic instrumentation block IDs for a named
+// region of a custom target (cf. DESIGN.md §2.2 on the instrumentation
+// substitution).
+func Blocks(name string, n int) []BlockID { return coverage.Blocks(name, n) }
+
+// Checksum computes one of the supported checksum algorithms, for targets
+// that validate integrity fields themselves.
+func Checksum(kind datamodel.FixKind, data []byte) uint64 {
+	return datamodel.Checksum(kind, data)
+}
