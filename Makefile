@@ -1,0 +1,35 @@
+# CI entry points for the Peach* reproduction. `make ci` is the full gate;
+# the individual targets are what it runs.
+
+GO ?= go
+
+.PHONY: ci build vet test race fuzz bench-parallel clean
+
+ci: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel campaign runner must be data-race free: every TestParallel*
+# test (core fleet, public API, crash bank concurrency) under -race.
+race:
+	$(GO) test -race -run 'TestParallel|TestConcurrent' ./internal/core ./internal/crash ./peachstar
+
+# Short native-fuzz smoke runs over the crack/generate round-trip targets.
+fuzz:
+	$(GO) test ./internal/datamodel -fuzz 'FuzzCrack$$' -fuzztime 10s -run XXX
+	$(GO) test ./internal/datamodel -fuzz 'FuzzGenerate$$' -fuzztime 10s -run XXX
+	$(GO) test ./internal/datamodel -fuzz 'FuzzCrackSeedCorpusBytes$$' -fuzztime 10s -run XXX
+
+# Serial-vs-sharded throughput on libmodbus (the BENCH_parallel.json rows).
+bench-parallel:
+	$(GO) test -bench 'BenchmarkParallelWorkers' -benchtime 50000x -run XXX .
+
+clean:
+	$(GO) clean -testcache

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/sandbox"
 	"repro/internal/targets"
 
 	_ "repro/internal/targets/cs101"
@@ -201,6 +202,49 @@ func BenchmarkExtensionMutation(b *testing.B) {
 	b.ReportMetric(plain/float64(b.N), "paths_mutfuzz")
 	b.ReportMetric(star/float64(b.N), "paths_mutfuzz_star")
 }
+
+// benchParallel measures raw executions per second of the sharded campaign
+// runner on libmodbus at a given parallelism — the scaling evidence for the
+// fleet. Near-linear growth of execs/s from 1 to N workers is the target.
+func benchParallel(b *testing.B, workers int) {
+	b.Helper()
+	tgt, err := targets.New("libmodbus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := core.NewFleet(core.Config{
+		Models:   tgt.Models(),
+		Target:   tgt,
+		Strategy: core.StrategyPeachStar,
+		Seed:     1,
+	}, core.ParallelConfig{
+		Workers: workers,
+		NewTarget: func() sandbox.Target {
+			t, err := targets.New("libmodbus")
+			if err != nil {
+				panic(err)
+			}
+			return t
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	fleet.Run(b.N)
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(fleet.Stats().Execs)/secs, "execs/s")
+	}
+}
+
+// BenchmarkParallelWorkers1/2/4/8: the serial baseline and the sharded
+// runner at increasing parallelism (BENCH_parallel.json records a measured
+// pair).
+func BenchmarkParallelWorkers1(b *testing.B) { benchParallel(b, 1) }
+func BenchmarkParallelWorkers2(b *testing.B) { benchParallel(b, 2) }
+func BenchmarkParallelWorkers4(b *testing.B) { benchParallel(b, 4) }
+func BenchmarkParallelWorkers8(b *testing.B) { benchParallel(b, 8) }
 
 // BenchmarkEngineThroughput measures raw executions per second of the full
 // Peach* loop on the largest target — the fuzzing-speed denominator behind

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	peachstar -target libmodbus -strategy peachstar -execs 50000 -seed 1
+//	peachstar -target libmodbus -execs 200000 -workers 4
 //	peachstar -list
 package main
 
@@ -26,6 +27,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "campaign seed (reproducible)")
 		duration = flag.Duration("duration", 0, "wall-clock budget (overrides -execs when set)")
 		report   = flag.Int("report", 10, "number of progress reports")
+		workers  = flag.Int("workers", 1, "parallel worker engines sharing the exec budget")
 		list     = flag.Bool("list", false, "list available targets and exit")
 	)
 	flag.Parse()
@@ -55,19 +57,26 @@ func main() {
 		Target:   tgt,
 		Strategy: strat,
 		Seed:     *seed,
+		Workers:  *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	fmt.Printf("fuzzing %s with %s (seed %d)\n", *target, strat, *seed)
+	fmt.Printf("fuzzing %s with %s (seed %d, %d workers)\n", *target, strat, *seed, campaign.Workers())
 	start := time.Now()
 	if *duration > 0 {
 		deadline := start.Add(*duration)
 		lastReport := start
 		for time.Now().Before(deadline) {
-			campaign.Step()
+			if campaign.Workers() > 1 {
+				// Run one merge window per worker between progress
+				// checks; Step would advance only one worker.
+				campaign.Run(campaign.Execs() + peachstar.DefaultMergeEvery*campaign.Workers())
+			} else {
+				campaign.Step()
+			}
 			if time.Since(lastReport) >= *duration/time.Duration(*report) {
 				printProgress(campaign, start)
 				lastReport = time.Now()

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/crash"
+	"repro/internal/rng"
+	"repro/internal/sandbox"
+)
+
+// This file implements the sharded campaign runner: one fuzzing campaign
+// split across N worker engines. Each worker owns the full serial machinery
+// — its own RNG stream (split from the campaign seed), its own target
+// instance and sandbox, its own coverage accumulator, puzzle corpus and
+// crash bank — and runs the unmodified serial loop. Workers meet only at
+// coarse-grained sync points: every MergeEvery executions a worker publishes
+// its coverage and puzzles into the shared campaign state and folds the
+// other workers' discoveries back out, all under one mutex. Between syncs
+// there is no shared mutable state at all, so the hot loop is exactly the
+// serial hot loop.
+
+// DefaultMergeEvery is the default number of per-worker executions between
+// synchronizations with the shared campaign state. Small enough that
+// cross-worker donation (a puzzle cracked on worker A donated by worker B)
+// happens many times per campaign, large enough that the mutex is cold.
+const DefaultMergeEvery = 256
+
+// ParallelConfig parameterizes a Fleet beyond the per-engine Config.
+type ParallelConfig struct {
+	// Workers is the number of worker engines; 0 and 1 both mean serial.
+	Workers int
+	// NewTarget constructs a fresh target instance for each worker beyond
+	// the first (which uses Config.Target). Required when Workers > 1:
+	// targets are stateful servers and must not be shared across
+	// goroutines.
+	NewTarget func() sandbox.Target
+	// MergeEvery is the per-worker execution count between shared-state
+	// syncs (0 = DefaultMergeEvery).
+	MergeEvery int
+}
+
+// Fleet is one fuzzing campaign sharded across parallel worker engines. A
+// single-worker Fleet is bit-for-bit identical to the serial Engine with the
+// same Config: worker 0 keeps the campaign seed (rng.Split stream 0) and the
+// single-worker Run path performs no sync operations.
+//
+// Run blocks until the budget is spent; Stats, Crashes and Corpus must not
+// be called concurrently with Run.
+type Fleet struct {
+	workers []*Engine
+	merge   int
+
+	// Shared campaign state, guarded by mu. Workers touch it only at sync
+	// points; everything else they own privately.
+	mu     sync.Mutex
+	virgin *coverage.Virgin // union of all workers' observed coverage
+	corp   *corpus.Corpus   // union of all workers' puzzle corpora
+}
+
+// NewFleet validates the configuration and builds the worker engines.
+// Worker i fuzzes with seed rng.Split(cfg.Seed, i); models are shared across
+// workers (chunks are immutable once built), targets are not.
+func NewFleet(cfg Config, pcfg ParallelConfig) (*Fleet, error) {
+	workers := pcfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && pcfg.NewTarget == nil {
+		return nil, fmt.Errorf("core: ParallelConfig.NewTarget is required for %d workers", workers)
+	}
+	merge := pcfg.MergeEvery
+	if merge <= 0 {
+		merge = DefaultMergeEvery
+	}
+	f := &Fleet{
+		merge:  merge,
+		virgin: coverage.NewVirgin(),
+		corp:   corpus.New(cfg.CorpusPerSig),
+	}
+	for i := 0; i < workers; i++ {
+		wcfg := cfg
+		wcfg.Seed = rng.Split(cfg.Seed, i)
+		if i > 0 {
+			wcfg.Target = pcfg.NewTarget()
+		}
+		eng, err := New(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.workers = append(f.workers, eng)
+	}
+	return f, nil
+}
+
+// Workers returns the fleet's parallelism.
+func (f *Fleet) Workers() int { return len(f.workers) }
+
+// Execs returns the total executions performed so far — the budget
+// arithmetic accessor. Unlike Stats it merges nothing, so driving loops can
+// call it every slice without touching the shared state.
+func (f *Fleet) Execs() int {
+	total := 0
+	for _, w := range f.workers {
+		total += w.stats.Execs
+	}
+	return total
+}
+
+// Step performs one iteration on worker 0 and returns how many executions it
+// spent — the fine-grained sampling hook the harness uses. For multi-worker
+// fleets it advances only worker 0; use Run to drive the whole fleet.
+func (f *Fleet) Step() int { return f.workers[0].Step() }
+
+// Run fuzzes until at least execBudget total executions have been performed,
+// sharding the remaining budget evenly across the workers. It may be called
+// repeatedly to extend a campaign. With one worker it is the serial
+// Engine.Run, sync-free and bit-for-bit reproducible against it.
+func (f *Fleet) Run(execBudget int) {
+	if len(f.workers) == 1 {
+		f.workers[0].Run(execBudget)
+		return
+	}
+	remaining := execBudget - f.Execs()
+	if remaining <= 0 {
+		return
+	}
+	n := len(f.workers)
+	var wg sync.WaitGroup
+	for i, w := range f.workers {
+		shard := remaining / n
+		if i < remaining%n {
+			shard++
+		}
+		if shard == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *Engine, target int) {
+			defer wg.Done()
+			f.runWorker(w, target)
+		}(w, w.stats.Execs+shard)
+	}
+	wg.Wait()
+}
+
+// runWorker drives one engine to its exec target, pausing every merge window
+// to exchange state with the rest of the fleet.
+func (f *Fleet) runWorker(w *Engine, target int) {
+	for w.stats.Execs < target {
+		window := w.stats.Execs + f.merge
+		if window > target {
+			window = target
+		}
+		for w.stats.Execs < window {
+			w.Step()
+		}
+		f.sync(w)
+	}
+}
+
+// sync is the batched merge: publish this worker's coverage and puzzles into
+// the shared state, then fold the shared state back into the worker. The
+// pull half is what makes sharding more than N independent campaigns — a
+// worker stops re-counting paths the fleet has already found (so cracking
+// effort is not duplicated) and gains donor material cracked by its peers.
+func (f *Fleet) sync(w *Engine) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.virgin.MergeVirgin(w.virgin.v)
+	w.virgin.v.MergeVirgin(f.virgin)
+	f.corp.MergeFrom(w.corp)
+	w.corp.MergeFrom(f.corp)
+}
+
+// Stats aggregates the campaign snapshot across workers: execution and path
+// counters are summed, coverage is the size of the merged union map, crash
+// figures come from the merged bank, and the corpus size is the shared
+// corpus after folding every worker in. For a single-worker fleet it is
+// exactly the engine's snapshot.
+//
+// Summed Paths counts each worker's locally-valuable executions: a path two
+// workers discover concurrently within one merge window is counted twice
+// (after a sync the pull deduplicates future discoveries). Edges comes from
+// the merged union and never double-counts — prefer it when comparing runs
+// at different worker counts.
+func (f *Fleet) Stats() Stats {
+	if len(f.workers) == 1 {
+		return f.workers[0].Stats()
+	}
+	var s Stats
+	for _, w := range f.workers {
+		ws := w.stats
+		s.Iterations += ws.Iterations
+		s.Execs += ws.Execs
+		s.Paths += ws.Paths
+		s.SemanticExecs += ws.SemanticExecs
+		s.SemanticPaths += ws.SemanticPaths
+	}
+	f.mu.Lock()
+	for _, w := range f.workers {
+		f.virgin.MergeVirgin(w.virgin.v)
+		f.corp.MergeFrom(w.corp)
+	}
+	s.Edges = f.virgin.Edges()
+	s.CorpusPuzzles = f.corp.Len()
+	f.mu.Unlock()
+	bank := f.Crashes()
+	s.UniqueCrashes = bank.Unique()
+	s.Hangs = bank.Hangs()
+	return s
+}
+
+// Crashes merges the workers' crash banks into one campaign-level bank,
+// deduplicating faults found by several workers. A fresh bank is built per
+// call so repeated snapshots never double-count.
+func (f *Fleet) Crashes() *crash.Bank {
+	if len(f.workers) == 1 {
+		return f.workers[0].Crashes()
+	}
+	bank := crash.NewBank()
+	for _, w := range f.workers {
+		bank.MergeFrom(w.crashes)
+	}
+	return bank
+}
+
+// Corpus returns the shared campaign corpus after folding in every worker's
+// local puzzles.
+func (f *Fleet) Corpus() *corpus.Corpus {
+	if len(f.workers) == 1 {
+		return f.workers[0].Corpus()
+	}
+	f.mu.Lock()
+	for _, w := range f.workers {
+		f.corp.MergeFrom(w.corp)
+	}
+	f.mu.Unlock()
+	return f.corp
+}

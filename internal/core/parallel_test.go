@@ -1,0 +1,170 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sandbox"
+)
+
+func newFleet(t *testing.T, workers, budgetPerSync int, seed uint64) *Fleet {
+	t.Helper()
+	f, err := NewFleet(Config{
+		Models:   toyModels(),
+		Target:   newToyTarget(),
+		Strategy: StrategyPeachStar,
+		Seed:     seed,
+	}, ParallelConfig{
+		Workers:    workers,
+		NewTarget:  func() sandbox.Target { return newToyTarget() },
+		MergeEvery: budgetPerSync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestParallelWorkers1MatchesSerial is the bit-for-bit guarantee: a
+// single-worker fleet reproduces the serial engine exactly — same stats,
+// same crashes, same corpus — because worker 0 keeps the campaign seed and
+// the one-worker Run path performs no sync operations.
+func TestParallelWorkers1MatchesSerial(t *testing.T) {
+	serial := newEngine(t, StrategyPeachStar, 42)
+	serial.Run(5000)
+
+	fleet := newFleet(t, 1, 0, 42)
+	fleet.Run(5000)
+
+	if got, want := fleet.Stats(), serial.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fleet(1) stats = %+v, serial stats = %+v", got, want)
+	}
+	sr, fr := serial.Crashes().Records(), fleet.Crashes().Records()
+	if len(sr) != len(fr) {
+		t.Fatalf("fleet(1) found %d crashes, serial %d", len(fr), len(sr))
+	}
+	for i := range sr {
+		if sr[i].Site != fr[i].Site || sr[i].FirstExec != fr[i].FirstExec {
+			t.Fatalf("crash %d differs: serial %+v, fleet %+v", i, sr[i], fr[i])
+		}
+	}
+	if got, want := fleet.Corpus().Len(), serial.Corpus().Len(); got != want {
+		t.Fatalf("fleet(1) corpus = %d puzzles, serial = %d", got, want)
+	}
+}
+
+// TestParallelShardsBudget checks the multi-worker runner spends at least
+// the budget, shards it across all workers, and aggregates a coherent
+// campaign snapshot.
+func TestParallelShardsBudget(t *testing.T) {
+	const budget = 6000
+	f := newFleet(t, 4, 128, 7)
+	f.Run(budget)
+
+	s := f.Stats()
+	if s.Execs < budget {
+		t.Fatalf("execs = %d, want >= %d", s.Execs, budget)
+	}
+	sum := 0
+	for i, w := range f.workers {
+		we := w.stats.Execs
+		if we == 0 {
+			t.Fatalf("worker %d performed no executions", i)
+		}
+		sum += we
+	}
+	if s.Execs != sum {
+		t.Fatalf("aggregate execs %d != worker sum %d", s.Execs, sum)
+	}
+	if s.Paths == 0 || s.Edges == 0 {
+		t.Fatalf("no coverage recorded: %+v", s)
+	}
+	if s.CorpusPuzzles == 0 {
+		t.Fatalf("shared corpus empty after Peach* campaign: %+v", s)
+	}
+}
+
+// TestParallelCrashDedup verifies the merged crash bank deduplicates faults
+// discovered independently by several workers: the toy target's op2 crash is
+// one unique vulnerability no matter how many workers trip it.
+func TestParallelCrashDedup(t *testing.T) {
+	f := newFleet(t, 4, 128, 1)
+	f.Run(20000)
+
+	found := 0
+	for _, w := range f.workers {
+		found += w.crashes.Unique()
+	}
+	if found < 2 {
+		t.Skipf("only %d workers tripped the crash; dedup not exercised", found)
+	}
+	if got := f.Crashes().Unique(); got != 1 {
+		t.Fatalf("merged unique crashes = %d, want 1 (workers found it %d times)", got, found)
+	}
+	if got := f.Stats().UniqueCrashes; got != 1 {
+		t.Fatalf("aggregated stats report %d unique crashes, want 1", got)
+	}
+}
+
+// TestParallelCoverageExchange: after a run, every worker has pulled the
+// fleet-wide coverage union, so no worker knows fewer edges than it
+// contributed and the shared map is the union of all.
+func TestParallelCoverageExchange(t *testing.T) {
+	f := newFleet(t, 3, 64, 9)
+	f.Run(3000)
+	_ = f.Stats() // folds final worker state into the shared union
+
+	shared := f.virgin.Edges()
+	for i, w := range f.workers {
+		if we := w.virgin.v.Edges(); we > shared {
+			t.Fatalf("worker %d knows %d edges, shared union only %d", i, we, shared)
+		}
+	}
+}
+
+// TestParallelRunExtends: Run may be called repeatedly to extend a
+// campaign, and a second call with a spent budget is a no-op.
+func TestParallelRunExtends(t *testing.T) {
+	f := newFleet(t, 2, 64, 3)
+	f.Run(1000)
+	first := f.Stats().Execs
+	if first < 1000 {
+		t.Fatalf("first run execs = %d, want >= 1000", first)
+	}
+	f.Run(first) // already spent: no-op
+	if got := f.Stats().Execs; got != first {
+		t.Fatalf("no-op run advanced execs %d -> %d", first, got)
+	}
+	f.Run(first + 1000)
+	if got := f.Stats().Execs; got < first+1000 {
+		t.Fatalf("extended run execs = %d, want >= %d", got, first+1000)
+	}
+}
+
+// TestParallelConfigValidation: multi-worker fleets need a target factory;
+// worker counts are clamped to at least one.
+func TestParallelConfigValidation(t *testing.T) {
+	cfg := Config{Models: toyModels(), Target: newToyTarget(), Seed: 1}
+	if _, err := NewFleet(cfg, ParallelConfig{Workers: 4}); err == nil {
+		t.Fatal("NewFleet without NewTarget should error for workers > 1")
+	}
+	f, err := NewFleet(cfg, ParallelConfig{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers() != 1 {
+		t.Fatalf("workers = %d, want clamped to 1", f.Workers())
+	}
+}
+
+// TestParallelWorkerStreamsDiverge: worker RNG streams split from the same
+// campaign seed must not mirror each other — equal streams would fuzz the
+// same sequence N times and scaling would be a lie.
+func TestParallelWorkerStreamsDiverge(t *testing.T) {
+	f := newFleet(t, 2, 64, 5)
+	a := f.workers[0].r.Uint64()
+	b := f.workers[1].r.Uint64()
+	if a == b {
+		t.Fatalf("worker streams emit identical first draw %d", a)
+	}
+}

@@ -55,11 +55,17 @@ func New(perSig int) *Corpus {
 	}
 }
 
+// dedupKey is the exact-duplicate identity of a puzzle: its rule signature
+// plus its bytes.
+func dedupKey(sig string, data []byte) string {
+	return sig + "\x00" + string(data)
+}
+
 // Add stores one puzzle, returning true if it was new. Exact duplicates
 // (same rule, same bytes) are dropped — repeated donation of identical
 // content is the "meaningless repetition" the paper wants ruled out.
 func (c *Corpus) Add(p Puzzle) bool {
-	key := p.Signature + "\x00" + string(p.Data)
+	key := dedupKey(p.Signature, p.Data)
 	if c.seen[key] {
 		return false
 	}
@@ -70,7 +76,7 @@ func (c *Corpus) Add(p Puzzle) bool {
 		// Evict the oldest; forget its dedup key so equivalent
 		// content can return later if rediscovered.
 		old := list[0]
-		delete(c.seen, old.Signature+"\x00"+string(old.Data))
+		delete(c.seen, dedupKey(old.Signature, old.Data))
 		copy(list, list[1:])
 		list = list[:len(list)-1]
 		c.puzzles--
@@ -124,6 +130,45 @@ func (c *Corpus) CrossModelDonors(chunk *datamodel.Chunk, model string) []Puzzle
 		return cross
 	}
 	return all
+}
+
+// MergeFrom folds o's puzzles into c, returning how many were new.
+// Iteration is in sorted-signature order so merging is deterministic for a
+// fixed pair of corpora. Puzzle data is shared, not copied: puzzles are
+// immutable once stored, so the slices may safely back both corpora.
+//
+// Merged puzzles only fill a signature's spare capacity — unlike Add they
+// never evict. Eviction forgets dedup keys, so an evicting merge between
+// two bounded corpora would reintroduce each other's evicted material every
+// round (perpetual churn) and displace fresh local puzzles with old remote
+// ones; filling spare capacity keeps each corpus's own freshness ordering
+// and makes repeated merges converge to no-ops. This is the exchange step
+// of the sharded campaign runner — workers push local discoveries into the
+// shared corpus and pull the other workers' material back out.
+func (c *Corpus) MergeFrom(o *Corpus) int {
+	added := 0
+	for _, sig := range o.Signatures() {
+		for _, p := range o.bySig[sig] {
+			if c.addNoEvict(p) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// addNoEvict stores one puzzle only when it is unseen and its signature has
+// spare capacity.
+func (c *Corpus) addNoEvict(p Puzzle) bool {
+	key := dedupKey(p.Signature, p.Data)
+	if c.seen[key] || len(c.bySig[p.Signature]) >= c.perSig {
+		return false
+	}
+	c.seen[key] = true
+	c.inserted++
+	c.bySig[p.Signature] = append(c.bySig[p.Signature], p)
+	c.puzzles++
+	return true
 }
 
 // Len returns the number of stored puzzles.

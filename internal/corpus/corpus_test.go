@@ -138,3 +138,58 @@ func TestSignaturesSorted(t *testing.T) {
 		t.Fatalf("signatures = %v", sigs)
 	}
 }
+
+func TestMergeFromDedups(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(puzzle("sig1", "aa", "m1"))
+	a.Add(puzzle("sig2", "bb", "m1"))
+	b.Add(puzzle("sig1", "aa", "m2")) // duplicate content, different provenance
+	b.Add(puzzle("sig1", "cc", "m2"))
+	b.Add(puzzle("sig3", "dd", "m2"))
+
+	if got := a.MergeFrom(b); got != 2 {
+		t.Fatalf("merge added %d puzzles, want 2 (one exact duplicate dropped)", got)
+	}
+	if got := a.Len(); got != 4 {
+		t.Fatalf("merged corpus holds %d puzzles, want 4", got)
+	}
+	if got := a.MergeFrom(b); got != 0 {
+		t.Fatalf("second merge added %d puzzles, want 0", got)
+	}
+	// The source corpus is unchanged.
+	if got := b.Len(); got != 3 {
+		t.Fatalf("source corpus mutated: %d puzzles, want 3", got)
+	}
+}
+
+func TestMergeFromRespectsPerSigBound(t *testing.T) {
+	a, b := New(2), New(0)
+	for i := 0; i < 5; i++ {
+		b.Add(puzzle("sig", fmt.Sprintf("d%d", i), "m"))
+	}
+	a.MergeFrom(b)
+	if got := a.Len(); got != 2 {
+		t.Fatalf("bounded corpus holds %d puzzles, want 2", got)
+	}
+}
+
+func TestMergeFromNeverEvicts(t *testing.T) {
+	a, b := New(2), New(0)
+	a.Add(puzzle("sig", "local1", "m"))
+	a.Add(puzzle("sig", "local2", "m"))
+	for i := 0; i < 4; i++ {
+		b.Add(puzzle("sig", fmt.Sprintf("remote%d", i), "m"))
+	}
+	if got := a.MergeFrom(b); got != 0 {
+		t.Fatalf("merge into a full signature added %d puzzles, want 0", got)
+	}
+	donors := a.bySig["sig"]
+	if len(donors) != 2 || string(donors[0].Data) != "local1" || string(donors[1].Data) != "local2" {
+		t.Fatalf("merge displaced local puzzles: %v", donors)
+	}
+	// Merging is idempotent: a second pass converges to a no-op even when
+	// both corpora are bounded.
+	if got := a.MergeFrom(b); got != 0 {
+		t.Fatalf("repeat merge added %d puzzles, want 0", got)
+	}
+}

@@ -146,6 +146,28 @@ func (v *Virgin) Merge(raw []byte) bool {
 	return valuable
 }
 
+// MergeVirgin folds another accumulator's observed state into v, the
+// campaign-level union operation behind sharded fuzzing: each worker
+// accumulates coverage locally and the shard runner periodically merges the
+// local accumulators into (and back out of) a shared one. It returns true
+// when o contributed at least one (edge, bucket) pair v had not seen. o is
+// read, not modified.
+func (v *Virgin) MergeVirgin(o *Virgin) bool {
+	changed := false
+	for i, b := range o.seen {
+		novel := b &^ v.seen[i]
+		if novel == 0 {
+			continue
+		}
+		if v.seen[i] == 0 {
+			v.edges++
+		}
+		v.seen[i] |= novel
+		changed = true
+	}
+	return changed
+}
+
 // WouldMerge reports whether Merge would return true, without mutating the
 // accumulator. Used by tests and by the harness to probe coverage levels.
 func (v *Virgin) WouldMerge(raw []byte) bool {

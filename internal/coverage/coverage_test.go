@@ -254,3 +254,48 @@ func TestMergeMonotonicEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMergeVirginUnion(t *testing.T) {
+	a, b := NewVirgin(), NewVirgin()
+	raw1 := make([]byte, MapSize)
+	raw1[10] = 1
+	raw1[20] = 3
+	raw2 := make([]byte, MapSize)
+	raw2[20] = 3
+	raw2[30] = 1
+	a.Merge(raw1)
+	b.Merge(raw2)
+
+	if !a.MergeVirgin(b) {
+		t.Fatal("merging b's novel edge 30 should report change")
+	}
+	if got := a.Edges(); got != 3 {
+		t.Fatalf("edges after union = %d, want 3", got)
+	}
+	if a.MergeVirgin(b) {
+		t.Fatal("second merge must be a no-op")
+	}
+	// a now subsumes both executions.
+	if a.WouldMerge(raw1) || a.WouldMerge(raw2) {
+		t.Fatal("union should cover both source maps")
+	}
+	// b is untouched.
+	if got := b.Edges(); got != 2 {
+		t.Fatalf("source edges = %d, want 2 (must not be modified)", got)
+	}
+}
+
+func TestMergeVirginBucketGranularity(t *testing.T) {
+	a, b := NewVirgin(), NewVirgin()
+	raw := make([]byte, MapSize)
+	raw[5] = 1 // bucket 1
+	a.Merge(raw)
+	raw[5] = 9 // bucket 16: same edge, new bucket
+	b.Merge(raw)
+	if !a.MergeVirgin(b) {
+		t.Fatal("new bucket on a known edge should report change")
+	}
+	if got := a.Edges(); got != 1 {
+		t.Fatalf("edges = %d, want 1 (same edge, richer buckets)", got)
+	}
+}

@@ -10,6 +10,7 @@ package crash
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -21,7 +22,12 @@ type Record struct {
 	Site      string
 	Example   []byte // first packet observed to trigger the fault
 	Count     int    // number of triggering executions
-	FirstExec int    // execution index of first trigger
+	// FirstExec is the execution index of the first trigger, counted by
+	// the engine that found it. In a bank merged from parallel workers it
+	// is the smallest *per-worker* index — worker-local clocks are not
+	// comparable across workers, so treat it as "how early into its
+	// budget a worker hit this", not a campaign-global position.
+	FirstExec int
 	PathSig   uint64 // coverage signature of the first triggering run
 }
 
@@ -30,9 +36,17 @@ func Key(f *mem.Fault) string {
 	return string(f.Kind) + "@" + f.Site
 }
 
-// Bank accumulates unique crash records across a campaign. Not safe for
-// concurrent use; the engine owns it.
+// recordKey is Key for an already-stored record, used when merging banks.
+func recordKey(r *Record) string {
+	return string(r.Kind) + "@" + r.Site
+}
+
+// Bank accumulates unique crash records across a campaign. All methods are
+// safe for concurrent use: parallel campaign workers report into their own
+// banks while a monitor may snapshot records, and the shard runner merges
+// worker banks into a campaign-level one.
 type Bank struct {
+	mu    sync.Mutex
 	byKey map[string]*Record
 	hangs int
 }
@@ -45,6 +59,8 @@ func NewBank() *Bank {
 // Report records one crashing execution. It returns true when the fault is
 // new (a previously unseen unique vulnerability).
 func (b *Bank) Report(f *mem.Fault, packet []byte, execIndex int, pathSig uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	k := Key(f)
 	if r, ok := b.byKey[k]; ok {
 		r.Count++
@@ -65,27 +81,78 @@ func (b *Bank) Report(f *mem.Fault, packet []byte, execIndex int, pathSig uint64
 
 // ReportHang counts a hanging execution. Hangs are tallied but not treated
 // as unique vulnerabilities (the paper's Table I lists memory faults only).
-func (b *Bank) ReportHang() { b.hangs++ }
+func (b *Bank) ReportHang() {
+	b.mu.Lock()
+	b.hangs++
+	b.mu.Unlock()
+}
 
 // Unique returns the number of unique faults found.
-func (b *Bank) Unique() int { return len(b.byKey) }
+func (b *Bank) Unique() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.byKey)
+}
 
 // Hangs returns the number of hanging executions observed.
-func (b *Bank) Hangs() int { return b.hangs }
+func (b *Bank) Hangs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hangs
+}
 
-// Records returns all unique faults, ordered by first discovery.
+// Records returns all unique faults, ordered by first discovery. The
+// returned records are copies, detached from the bank's live state, so
+// callers may inspect them while executions keep being reported.
 func (b *Bank) Records() []*Record {
+	b.mu.Lock()
 	out := make([]*Record, 0, len(b.byKey))
 	for _, r := range b.byKey {
-		out = append(out, r)
+		cp := *r
+		out = append(out, &cp)
 	}
+	b.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].FirstExec < out[j].FirstExec })
 	return out
+}
+
+// MergeFrom folds another bank's faults into b, deduplicating by fault
+// identity: counts of shared faults are summed (keeping the example packet
+// and path signature of whichever trigger came first), unseen faults are
+// copied in, and hangs are added. It returns how many faults were new to b. Merging the same source
+// bank twice double-counts; the shard runner therefore merges worker banks
+// into a fresh bank each time it reports.
+func (b *Bank) MergeFrom(o *Bank) int {
+	recs := o.Records() // snapshot under o's lock, released before taking b's
+	hangs := o.Hangs()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hangs += hangs
+	added := 0
+	for _, r := range recs {
+		k := recordKey(r)
+		if have, ok := b.byKey[k]; ok {
+			have.Count += r.Count
+			if r.FirstExec < have.FirstExec {
+				// The example packet and path signature describe the
+				// first triggering run; they travel with its index.
+				have.FirstExec = r.FirstExec
+				have.Example = r.Example
+				have.PathSig = r.PathSig
+			}
+			continue
+		}
+		b.byKey[k] = r // already a detached copy
+		added++
+	}
+	return added
 }
 
 // CountByKind tallies unique faults per kind — the "Vulnerability Type /
 // Number" columns of Table I.
 func (b *Bank) CountByKind() map[mem.FaultKind]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := map[mem.FaultKind]int{}
 	for _, r := range b.byKey {
 		out[r.Kind]++
@@ -95,5 +162,5 @@ func (b *Bank) CountByKind() map[mem.FaultKind]int {
 
 // String renders a one-line summary.
 func (b *Bank) String() string {
-	return fmt.Sprintf("crash.Bank{unique=%d hangs=%d}", b.Unique(), b.hangs)
+	return fmt.Sprintf("crash.Bank{unique=%d hangs=%d}", b.Unique(), b.Hangs())
 }

@@ -79,3 +79,58 @@ func TestStringSummary(t *testing.T) {
 		t.Fatalf("summary = %q", b.String())
 	}
 }
+
+func TestMergeFromDedupsAcrossBanks(t *testing.T) {
+	a, b := NewBank(), NewBank()
+	f1 := &mem.Fault{Kind: mem.HeapBufferOverflow, Site: "parse"}
+	f2 := &mem.Fault{Kind: mem.SEGV, Site: "dispatch"}
+	a.Report(f1, []byte{1}, 10, 0xA)
+	a.Report(f1, []byte{2}, 11, 0xA)
+	b.Report(f1, []byte{3}, 4, 0xB)
+	b.Report(f2, []byte{4}, 9, 0xC)
+	b.ReportHang()
+
+	if got := a.MergeFrom(b); got != 1 {
+		t.Fatalf("merge added %d new faults, want 1", got)
+	}
+	if got := a.Unique(); got != 2 {
+		t.Fatalf("unique after merge = %d, want 2", got)
+	}
+	if got := a.Hangs(); got != 1 {
+		t.Fatalf("hangs after merge = %d, want 1", got)
+	}
+	recs := a.Records()
+	if recs[0].Site != "parse" || recs[0].Count != 3 {
+		t.Fatalf("shared fault not summed: %+v", recs[0])
+	}
+	if recs[0].FirstExec != 4 {
+		t.Fatalf("FirstExec = %d, want the earlier 4", recs[0].FirstExec)
+	}
+	// The example packet and path signature follow the earlier trigger.
+	if len(recs[0].Example) != 1 || recs[0].Example[0] != 3 || recs[0].PathSig != 0xB {
+		t.Fatalf("example/pathsig not taken from the earlier trigger: %+v", recs[0])
+	}
+}
+
+func TestConcurrentReportAndSnapshot(t *testing.T) {
+	b := NewBank()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			b.Report(&mem.Fault{Kind: mem.SEGV, Site: "s"}, []byte{byte(i)}, i, 1)
+			if i%3 == 0 {
+				b.ReportHang()
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = b.Records()
+		_ = b.Unique()
+		_ = b.CountByKind()
+	}
+	<-done
+	if b.Unique() != 1 {
+		t.Fatalf("unique = %d, want 1", b.Unique())
+	}
+}

@@ -13,17 +13,26 @@ type RNG struct {
 	s [4]uint64
 }
 
+// splitmix64 is the finalizer of the splitmix64 generator: it whitens one
+// state word into one output word. Both seeding and stream splitting build
+// on it.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// goldenGamma is splitmix64's golden-ratio state increment.
+const goldenGamma = 0x9e3779b97f4a7c15
+
 // New returns a generator seeded from the given value via splitmix64, which
 // guarantees a non-zero internal state for every seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
 	for i := range r.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		sm += goldenGamma
+		r.s[i] = splitmix64(sm)
 	}
 	return r
 }
@@ -93,3 +102,17 @@ func Shuffle[T any](r *RNG, xs []T) {
 // Fork derives an independent generator from the current stream, for handing
 // to a sub-component without correlating its draws with the parent's.
 func (r *RNG) Fork() *RNG { return New(r.Uint64()) }
+
+// Split derives the seed of worker stream `stream` from a campaign seed, for
+// sharding one campaign across parallel workers. Stream 0 is the campaign
+// seed itself, so a single-stream campaign draws the exact sequence of the
+// unsplit one; streams i > 0 are decorrelated from the campaign stream and
+// from each other by a splitmix64 finalizer over the golden-ratio-spaced
+// index (New then whitens the result again, so even adjacent streams share
+// no structure).
+func Split(seed uint64, stream int) uint64 {
+	if stream == 0 {
+		return seed
+	}
+	return splitmix64(seed + uint64(stream)*goldenGamma)
+}

@@ -154,3 +154,28 @@ func TestUniformityRough(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitStream0IsIdentity(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		if got := Split(seed, 0); got != seed {
+			t.Fatalf("Split(%d, 0) = %d, want the seed itself", seed, got)
+		}
+	}
+}
+
+func TestSplitStreamsDecorrelated(t *testing.T) {
+	const seed = 7
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		s := Split(seed, i)
+		if seen[s] {
+			t.Fatalf("stream %d collides with an earlier stream (seed %d)", i, s)
+		}
+		seen[s] = true
+	}
+	// First draws of adjacent streams must differ too.
+	a, b := New(Split(seed, 1)).Uint64(), New(Split(seed, 2)).Uint64()
+	if a == b {
+		t.Fatal("adjacent split streams emit identical first draw")
+	}
+}

@@ -31,6 +31,7 @@ package peachstar
 import (
 	"fmt"
 	"io"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/crash"
 	"repro/internal/datamodel"
 	"repro/internal/pit"
+	"repro/internal/sandbox"
 	"repro/internal/targets"
 
 	// Register the six evaluated protocol targets.
@@ -85,7 +87,19 @@ type Tracer = coverage.Tracer
 type BlockID = coverage.BlockID
 
 // Stats is a campaign progress snapshot.
+//
+// On a multi-worker campaign, Paths is the sum of the workers' local
+// valuable-execution counters: discoveries made concurrently by several
+// workers within one merge window are counted once per discoverer, so the
+// aggregate can exceed what a serial campaign with identical coverage would
+// report. Edges is computed from the merged coverage union and is the
+// worker-count-independent metric for cross-mode comparisons.
 type Stats = core.Stats
+
+// DefaultMergeEvery is the per-worker execution count between merges of a
+// parallel campaign's shared state — the slice granularity driving loops
+// should use when advancing a fleet incrementally.
+const DefaultMergeEvery = core.DefaultMergeEvery
 
 // CrashRecord is one unique fault found by a campaign.
 type CrashRecord = crash.Record
@@ -109,11 +123,26 @@ type Options struct {
 	// MaxBatch bounds the per-iteration donor product materialization
 	// (0 = engine default).
 	MaxBatch int
+	// Workers shards Run across this many parallel worker engines. 0 and
+	// 1 both mean serial, which is bit-for-bit identical to a campaign
+	// created before this option existed. Each worker owns a fresh target
+	// instance and an independent RNG stream split from Seed; workers
+	// exchange coverage and puzzles in coarse batches, so throughput
+	// scales near-linearly with cores.
+	Workers int
+	// TargetFactory builds the fresh target instances extra workers need.
+	// When nil, the campaign re-instantiates the registered target by its
+	// Name(), which covers the six built-in projects; a custom
+	// unregistered target must supply a factory to run with Workers > 1.
+	TargetFactory func() Target
 }
 
 // Campaign is one running fuzzing campaign.
 type Campaign struct {
-	eng *core.Engine
+	cfg         core.Config
+	userFactory func() Target         // Options.TargetFactory, may be nil
+	factory     func() sandbox.Target // resolved lazily; nil until resolved
+	fleet       *core.Fleet
 }
 
 // NewCampaign validates options and prepares a campaign.
@@ -125,41 +154,126 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	if models == nil {
 		models = opts.Target.Models()
 	}
-	eng, err := core.New(core.Config{
-		Models:   models,
-		Target:   opts.Target,
-		Strategy: opts.Strategy,
-		Seed:     opts.Seed,
-		MaxBatch: opts.MaxBatch,
-	})
-	if err != nil {
+	c := &Campaign{
+		cfg: core.Config{
+			Models:   models,
+			Target:   opts.Target,
+			Strategy: opts.Strategy,
+			Seed:     opts.Seed,
+			MaxBatch: opts.MaxBatch,
+		},
+		userFactory: opts.TargetFactory,
+	}
+	if err := c.build(opts.Workers); err != nil {
 		return nil, err
 	}
-	return &Campaign{eng: eng}, nil
+	return c, nil
 }
 
-// Run fuzzes until at least execBudget target executions have happened.
-// It may be called repeatedly to extend a campaign.
-func (c *Campaign) Run(execBudget int) {
-	c.eng.Run(execBudget)
+// targetFactory resolves how extra workers obtain fresh target instances:
+// the explicit Options.TargetFactory, or re-instantiation through the target
+// registry when the campaign's target actually is the registered one — a
+// custom type that merely shares a registered name must not be silently
+// replaced by the registry target on workers 2..N, so it requires an
+// explicit factory. Returns nil when neither applies.
+func (c *Campaign) targetFactory() func() sandbox.Target {
+	if c.userFactory != nil {
+		return func() sandbox.Target { return c.userFactory() }
+	}
+	name := c.cfg.Target.(Target).Name()
+	probe, err := targets.New(name)
+	if err != nil || reflect.TypeOf(probe) != reflect.TypeOf(c.cfg.Target) {
+		return nil
+	}
+	return func() sandbox.Target {
+		t, err := targets.New(name)
+		if err != nil {
+			panic(fmt.Sprintf("peachstar: target %q vanished from registry: %v", name, err))
+		}
+		return t
+	}
 }
+
+// build constructs the worker fleet for the given parallelism. The target
+// factory is resolved only when extra workers actually need one, so serial
+// campaigns never probe the registry.
+func (c *Campaign) build(workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && c.factory == nil {
+		c.factory = c.targetFactory()
+		if c.factory == nil {
+			return fmt.Errorf("peachstar: Workers=%d needs Options.TargetFactory: target %q is not (an instance of) a registered target",
+				workers, c.cfg.Target.(Target).Name())
+		}
+	}
+	fleet, err := core.NewFleet(c.cfg, core.ParallelConfig{
+		Workers:   workers,
+		NewTarget: c.factory,
+	})
+	if err != nil {
+		return err
+	}
+	c.fleet = fleet
+	return nil
+}
+
+// Run fuzzes until at least execBudget target executions have happened,
+// using the parallelism configured in Options.Workers. It may be called
+// repeatedly to extend a campaign.
+func (c *Campaign) Run(execBudget int) {
+	c.fleet.Run(execBudget)
+}
+
+// RunParallel fuzzes until at least execBudget total target executions have
+// happened, sharded across the given number of workers. workers <= 1 runs
+// the serial engine, bit-for-bit identical to Run on a serial campaign. The
+// worker count may differ from Options.Workers only before the campaign has
+// executed anything; changing it mid-campaign is an error.
+func (c *Campaign) RunParallel(execBudget, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers != c.fleet.Workers() {
+		if c.fleet.Execs() > 0 {
+			return fmt.Errorf("peachstar: cannot change workers from %d to %d mid-campaign",
+				c.fleet.Workers(), workers)
+		}
+		if err := c.build(workers); err != nil {
+			return err
+		}
+	}
+	c.fleet.Run(execBudget)
+	return nil
+}
+
+// Workers returns the campaign's parallelism.
+func (c *Campaign) Workers() int { return c.fleet.Workers() }
+
+// Execs returns the total executions performed so far, without the merge
+// work a full Stats snapshot does — for budget arithmetic in driving loops.
+func (c *Campaign) Execs() int { return c.fleet.Execs() }
 
 // Step performs one engine iteration and returns how many executions it
-// spent — the granularity used for paths-over-time sampling.
-func (c *Campaign) Step() int { return c.eng.Step() }
+// spent — the granularity used for paths-over-time sampling. On a parallel
+// campaign it advances only the first worker; use Run/RunParallel to drive
+// the whole fleet.
+func (c *Campaign) Step() int { return c.fleet.Step() }
 
-// Stats returns the current progress snapshot.
-func (c *Campaign) Stats() Stats { return c.eng.Stats() }
+// Stats returns the current progress snapshot, aggregated across workers.
+func (c *Campaign) Stats() Stats { return c.fleet.Stats() }
 
-// Crashes returns the unique faults found so far, in discovery order.
-func (c *Campaign) Crashes() []*CrashRecord { return c.eng.Crashes().Records() }
+// Crashes returns the unique faults found so far, in discovery order,
+// deduplicated across workers.
+func (c *Campaign) Crashes() []*CrashRecord { return c.fleet.Crashes().Records() }
 
 // CorpusSize returns the number of puzzles currently stored.
-func (c *Campaign) CorpusSize() int { return c.eng.Corpus().Len() }
+func (c *Campaign) CorpusSize() int { return c.fleet.Corpus().Len() }
 
 // CorpusSignatures lists the construction-rule signatures present in the
 // puzzle corpus — a view into what packet cracking has learned.
-func (c *Campaign) CorpusSignatures() []string { return c.eng.Corpus().Signatures() }
+func (c *Campaign) CorpusSignatures() []string { return c.fleet.Corpus().Signatures() }
 
 // NewTarget instantiates one of the registered protocol targets by its
 // project name: "libmodbus", "IEC104", "libiec61850", "lib60870",
