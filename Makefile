@@ -1,11 +1,14 @@
 # CI entry points for the Peach* reproduction. `make ci` is the full gate;
-# the individual targets are what it runs.
+# the individual targets are what it runs. `make check` is the fast
+# pre-commit gate: build + vet + race + the hot-path allocation guard.
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz bench-parallel clean
+.PHONY: ci check build vet test race fuzz alloc-guard bench-parallel bench-hotpath clean
 
 ci: build vet test race
+
+check: build vet race alloc-guard
 
 build:
 	$(GO) build ./...
@@ -17,9 +20,15 @@ test:
 	$(GO) test ./...
 
 # The parallel campaign runner must be data-race free: every TestParallel*
-# test (core fleet, public API, crash bank concurrency) under -race.
+# test (core fleet, public API, crash bank concurrency) plus the
+# deadline-aware loop under -race.
 race:
-	$(GO) test -race -run 'TestParallel|TestConcurrent' ./internal/core ./internal/crash ./peachstar
+	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil' ./internal/core ./internal/crash ./peachstar
+
+# Allocation-regression guard: the steady-state Peach* exec path must stay
+# within the per-exec allocation budget (see hotpath_test.go).
+alloc-guard:
+	$(GO) test -run 'TestSteadyStateExecAllocBudget' -v .
 
 # Short native-fuzz smoke runs over the crack/generate round-trip targets.
 fuzz:
@@ -30,6 +39,15 @@ fuzz:
 # Serial-vs-sharded throughput on libmodbus (the BENCH_parallel.json rows).
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallelWorkers' -benchtime 50000x -run XXX .
+
+# Execution hot-path measurement: emits the BENCH_hotpath.json fields
+# (ns/exec, execs/sec, allocs/exec, bytes/exec) for the libmodbus Peach*
+# loop as JSON on stdout. Paste into the "after" slot of BENCH_hotpath.json
+# when recording a hot-path change. The per-scan microbenchmarks live in
+# internal/coverage (word-level vs byte-reference).
+bench-hotpath:
+	$(GO) run ./cmd/benchhotpath
+	$(GO) test -bench 'BenchmarkHotpathLibmodbus' -benchtime 100000x -run XXX .
 
 clean:
 	$(GO) clean -testcache

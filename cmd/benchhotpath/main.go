@@ -1,0 +1,74 @@
+// Command benchhotpath measures the Peach* execution hot path — the serial
+// engine loop on libmodbus — and emits the BENCH_hotpath.json measurement
+// fields as one JSON object on stdout: ns/exec, allocs/exec, bytes/exec and
+// execs/sec. `make bench-hotpath` runs it; paste the object into the
+// "after" slot of BENCH_hotpath.json when recording a new machine or a
+// hot-path change.
+//
+// Usage:
+//
+//	benchhotpath [-execs 200000] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/targets"
+
+	_ "repro/internal/targets/modbus"
+)
+
+func main() {
+	execs := flag.Int("execs", 200000, "executions to measure")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	tgt, err := targets.New("libmodbus")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng, err := core.New(core.Config{
+		Models:   tgt.Models(),
+		Target:   tgt,
+		Strategy: core.StrategyPeachStar,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	eng.Run(*execs)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := eng.Stats().Execs
+	nsPerExec := float64(elapsed.Nanoseconds()) / float64(n)
+	out := map[string]any{
+		"bench":           "libmodbus Peach* serial hot loop (core.Engine.Run)",
+		"go":              runtime.Version(),
+		"goarch":          runtime.GOARCH,
+		"execs_measured":  n,
+		"ns_per_exec":     nsPerExec,
+		"execs_per_sec":   1e9 / nsPerExec,
+		"allocs_per_exec": float64(after.Mallocs-before.Mallocs) / float64(n),
+		"bytes_per_exec":  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

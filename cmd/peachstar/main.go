@@ -67,20 +67,25 @@ func main() {
 	fmt.Printf("fuzzing %s with %s (seed %d, %d workers)\n", *target, strat, *seed, campaign.Workers())
 	start := time.Now()
 	if *duration > 0 {
+		// Deadline-aware run: the deadline is checked inside every
+		// worker's loop, so the campaign stops within one iteration of
+		// the budget instead of rounding up to a full exec slice.
+		// Progress is reported at interval boundaries between RunUntil
+		// segments.
 		deadline := start.Add(*duration)
-		lastReport := start
-		for time.Now().Before(deadline) {
-			if campaign.Workers() > 1 {
-				// Run one merge window per worker between progress
-				// checks; Step would advance only one worker.
-				campaign.Run(campaign.Execs() + peachstar.DefaultMergeEvery*campaign.Workers())
-			} else {
-				campaign.Step()
+		interval := *duration
+		if *report > 0 {
+			interval = *duration / time.Duration(*report)
+		}
+		if interval <= 0 {
+			interval = *duration
+		}
+		for next := start.Add(interval); time.Now().Before(deadline); next = next.Add(interval) {
+			if next.After(deadline) {
+				next = deadline
 			}
-			if time.Since(lastReport) >= *duration/time.Duration(*report) {
-				printProgress(campaign, start)
-				lastReport = time.Now()
-			}
+			campaign.RunUntil(next)
+			printProgress(campaign, start)
 		}
 	} else {
 		per := *execs / *report

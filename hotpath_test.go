@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/targets"
+
+	_ "repro/internal/targets/modbus"
+)
+
+// newHotpathEngine builds the canonical hot-loop configuration: the serial
+// Peach* engine on libmodbus — the loop BENCH_hotpath.json records.
+func newHotpathEngine(tb testing.TB, seed uint64) *core.Engine {
+	tb.Helper()
+	tgt, err := targets.New("libmodbus")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := core.New(core.Config{
+		Models:   tgt.Models(),
+		Target:   tgt,
+		Strategy: core.StrategyPeachStar,
+		Seed:     seed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkHotpathLibmodbus measures the end-to-end Peach* execution hot
+// path (generate → mutate → fixup → serialize → sandbox → coverage merge)
+// on libmodbus: the ns/exec and allocs/exec rows of BENCH_hotpath.json.
+// Run via `make bench-hotpath`.
+func BenchmarkHotpathLibmodbus(b *testing.B) {
+	eng := newHotpathEngine(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run(b.N)
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(eng.Stats().Execs)/secs, "execs/s")
+	}
+}
+
+// allocGuardBudget is the steady-state allocation ceiling per execution.
+// The arena-backed engine measures ~2 allocs/exec in steady state (mutator
+// leaf-byte allocations plus amortized cracking/corpus work); 5 leaves
+// headroom without letting the arena work silently rot.
+const allocGuardBudget = 5.0
+
+// TestSteadyStateExecAllocBudget is the allocation-regression guard for the
+// zero-allocation hot path: after warm-up, the full Peach* loop on
+// libmodbus must average at most allocGuardBudget heap allocations per
+// execution. Measured via runtime.MemStats.Mallocs around a 5000-exec
+// window rather than testing.AllocsPerRun, because one engine iteration
+// performs a variable number of executions.
+func TestSteadyStateExecAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	eng := newHotpathEngine(t, 1)
+	// Warm-up: populate the corpus and valuable queues, grow the arena
+	// slabs and scratch buffers to their high-water marks, get past the
+	// early coverage-discovery phase where cracking is frequent.
+	eng.Run(30000)
+
+	const window = 5000
+	start := eng.Stats().Execs
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	eng.Run(start + window)
+	runtime.ReadMemStats(&after)
+	execs := eng.Stats().Execs - start
+
+	perExec := float64(after.Mallocs-before.Mallocs) / float64(execs)
+	t.Logf("steady state: %.2f allocs/exec over %d execs", perExec, execs)
+	if perExec > allocGuardBudget {
+		t.Fatalf("steady-state hot path allocates %.2f objects/exec, budget is %.1f — the arena/scratch work has regressed",
+			perExec, allocGuardBudget)
+	}
+}

@@ -127,6 +127,16 @@ type Engine struct {
 	// produces batches); pendingSemantic records their provenance.
 	pending         [][]byte
 	pendingSemantic bool
+	// Hot-path scratch state, reset once per generation round: the arena
+	// backs every transient instance tree and rendered seed; leaves,
+	// cands and saved are reused slices for the per-iteration walks;
+	// dedup is the per-batch duplicate filter. Everything that outlives
+	// an iteration (corpus, crash bank, valuable queue) copies out.
+	arena  datamodel.Arena
+	leaves []*datamodel.Node
+	cands  [][]corpus.Puzzle
+	saved  [][]byte
+	dedup  map[string]bool
 	// valuable holds the retained coverage-increasing instances per
 	// model — the feedback-selected bases for "mutation on existing
 	// chunks" (§II). Bounded per model; older entries are evicted.
@@ -165,6 +175,7 @@ func New(cfg Config) (*Engine, error) {
 		crashes:  crash.NewBank(),
 		muts:     mutator.Suite(),
 		valuable: make(map[string][]valuableSeed),
+		dedup:    make(map[string]bool),
 	}, nil
 }
 
@@ -221,6 +232,10 @@ func (e *Engine) Run(execBudget int) {
 // seeds per execution) relative to the inherent strategy, so recombination
 // gets budget exactly where cross-model donation is paying off.
 func (e *Engine) generate() {
+	// The previous batch is fully executed and everything retained from it
+	// has been copied out, so the arena's trees and seed buffers are dead:
+	// recycle them for this round.
+	e.arena.Reset()
 	if e.isMutationStrategy() {
 		e.pendingSemantic = false
 		e.pending = append(e.pending, e.mutationGenerate())
@@ -229,7 +244,7 @@ func (e *Engine) generate() {
 	m := rng.Pick(e.r, e.cfg.Models) // CHOOSE(S_M)
 	e.pendingSemantic = false
 	if e.cfg.Strategy == StrategyPeachStar && !e.corp.Empty() && e.semanticTurn() {
-		e.pending = e.semanticGenerate(m)
+		e.semanticGenerate(m) // fills e.pending
 		if len(e.pending) > 0 {
 			e.pendingSemantic = true
 			return
@@ -290,8 +305,9 @@ func (e *Engine) execute(seed []byte) {
 		e.crashes.ReportHang()
 	}
 	// Valuable-seed identification (§IV-B): did this execution reach a
-	// new program state?
-	if e.virgin.Merge(e.runner.Tracer().Raw()) {
+	// new program state? The merge walks only the tracer lines this
+	// execution dirtied.
+	if e.virgin.MergeTracer(e.runner.Tracer()) {
 		e.stats.Paths++
 		if e.pendingSemantic {
 			e.semPaths++

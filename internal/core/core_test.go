@@ -242,9 +242,10 @@ func TestSemanticGenerateRespectsMaxBatch(t *testing.T) {
 	if e.Corpus().Empty() {
 		t.Skip("corpus did not populate under this seed")
 	}
-	batch := e.semanticGenerate(e.cfg.Models[0])
-	if len(batch) > 5 {
-		t.Fatalf("batch = %d, want <= 5", len(batch))
+	e.pending = e.pending[:0]
+	e.semanticGenerate(e.cfg.Models[0])
+	if len(e.pending) > 5 {
+		t.Fatalf("batch = %d, want <= 5", len(e.pending))
 	}
 }
 

@@ -59,7 +59,7 @@ func (e *Engine) mutationGenerate() []byte {
 	if e.mut.dryRun < len(e.mut.queue) {
 		seed := e.mut.queue[e.mut.dryRun]
 		e.mut.dryRun++
-		return append([]byte(nil), seed...)
+		return append(e.arena.Buffer(len(seed)), seed...)
 	}
 	base := rng.Pick(e.r, e.mut.queue)
 	if e.cfg.Strategy == StrategyMutationStar && !e.corp.Empty() && e.r.Chance(3) {
@@ -67,7 +67,10 @@ func (e *Engine) mutationGenerate() []byte {
 			return seed
 		}
 	}
-	return havoc(e.r, base)
+	// The havoc scratch comes from the arena with headroom for inserts;
+	// growth past the headroom falls back to the heap, which is merely an
+	// allocation, not a bug.
+	return havocInto(e.r, e.arena.Buffer(len(base)+16), base)
 }
 
 // chunkAwareMutate cracks the base seed against the model set; on success
@@ -86,9 +89,9 @@ func (e *Engine) chunkAwareMutate(base []byte) ([]byte, bool) {
 			if len(donors) == 0 {
 				continue
 			}
-			leaf.Data = append([]byte(nil), rng.Pick(e.r, donors).Data...)
+			leaf.Data = rng.Pick(e.r, donors).Data // read-only alias; fixups never write donatable leaves
 			m.ApplyFixups(ins)
-			return ins.Bytes(), true
+			return e.render(ins), true
 		}
 		return nil, false // cracked but nothing donatable
 	}
@@ -97,7 +100,14 @@ func (e *Engine) chunkAwareMutate(base []byte) ([]byte, bool) {
 
 // havoc applies 1..8 random byte-level operations, the AFL havoc stage.
 func havoc(r *rng.RNG, base []byte) []byte {
-	out := append([]byte(nil), base...)
+	return havocInto(r, nil, base)
+}
+
+// havocInto is havoc writing into a reusable scratch buffer (the engine
+// passes arena-backed scratch so the steady-state path stays allocation
+// free).
+func havocInto(r *rng.RNG, dst, base []byte) []byte {
+	out := append(dst[:0], base...)
 	for n := r.Range(1, 8); n > 0; n-- {
 		if len(out) == 0 {
 			out = append(out, r.Byte())

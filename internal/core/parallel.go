@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/coverage"
@@ -58,6 +59,17 @@ type Fleet struct {
 	mu     sync.Mutex
 	virgin *coverage.Virgin // union of all workers' observed coverage
 	corp   *corpus.Corpus   // union of all workers' puzzle corpora
+	// marks holds each worker's journal positions: how much of the
+	// worker's corpus journal has been pushed into the shared corpus, and
+	// how much of the shared journal has been pulled back out. Deltas make
+	// a sync window O(puzzles found since the last window), not O(corpus).
+	marks []syncMark
+}
+
+// syncMark is one worker's read positions into the two corpus journals.
+type syncMark struct {
+	pushed int // into the worker's own journal
+	pulled int // into the shared corpus's journal
 }
 
 // NewFleet validates the configuration and builds the worker engines.
@@ -92,6 +104,7 @@ func NewFleet(cfg Config, pcfg ParallelConfig) (*Fleet, error) {
 		}
 		f.workers = append(f.workers, eng)
 	}
+	f.marks = make([]syncMark, len(f.workers))
 	return f, nil
 }
 
@@ -138,17 +151,49 @@ func (f *Fleet) Run(execBudget int) {
 			continue
 		}
 		wg.Add(1)
-		go func(w *Engine, target int) {
+		go func(w *Engine, i, target int) {
 			defer wg.Done()
-			f.runWorker(w, target)
-		}(w, w.stats.Execs+shard)
+			f.runWorker(w, i, target)
+		}(w, i, w.stats.Execs+shard)
+	}
+	wg.Wait()
+}
+
+// RunUntil fuzzes until the wall-clock deadline, checking it inside each
+// worker's loop: a worker stops within one engine iteration of the deadline
+// instead of finishing out a fixed merge window, so duration-budgeted
+// campaigns land on their budget tightly. In multi-worker mode every worker
+// performs a final sync before returning; the single-worker path never
+// syncs (matching Run), which is why Stats, Corpus and Crashes read the
+// lone engine directly rather than the shared state.
+func (f *Fleet) RunUntil(deadline time.Time) {
+	if len(f.workers) == 1 {
+		w := f.workers[0]
+		for time.Now().Before(deadline) {
+			w.Step()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, w := range f.workers {
+		wg.Add(1)
+		go func(w *Engine, i int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				window := w.stats.Execs + f.merge
+				for w.stats.Execs < window && time.Now().Before(deadline) {
+					w.Step()
+				}
+				f.sync(w, i)
+			}
+		}(w, i)
 	}
 	wg.Wait()
 }
 
 // runWorker drives one engine to its exec target, pausing every merge window
 // to exchange state with the rest of the fleet.
-func (f *Fleet) runWorker(w *Engine, target int) {
+func (f *Fleet) runWorker(w *Engine, i, target int) {
 	for w.stats.Execs < target {
 		window := w.stats.Execs + f.merge
 		if window > target {
@@ -157,7 +202,7 @@ func (f *Fleet) runWorker(w *Engine, target int) {
 		for w.stats.Execs < window {
 			w.Step()
 		}
-		f.sync(w)
+		f.sync(w, i)
 	}
 }
 
@@ -166,13 +211,18 @@ func (f *Fleet) runWorker(w *Engine, target int) {
 // pull half is what makes sharding more than N independent campaigns — a
 // worker stops re-counting paths the fleet has already found (so cracking
 // effort is not duplicated) and gains donor material cracked by its peers.
-func (f *Fleet) sync(w *Engine) {
+// Corpus exchange is journal-delta based: each direction replays only the
+// puzzles accepted since this worker's previous window (the worker's pull
+// also skips its own just-pushed entries via dedup), so a window costs
+// O(new puzzles), not O(corpus).
+func (f *Fleet) sync(w *Engine, i int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.virgin.MergeVirgin(w.virgin.v)
 	w.virgin.v.MergeVirgin(f.virgin)
-	f.corp.MergeFrom(w.corp)
-	w.corp.MergeFrom(f.corp)
+	m := &f.marks[i]
+	_, m.pushed = f.corp.MergeJournal(w.corp, m.pushed)
+	_, m.pulled = w.corp.MergeJournal(f.corp, m.pulled)
 }
 
 // Stats aggregates the campaign snapshot across workers: execution and path

@@ -3,7 +3,9 @@ package core
 import (
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/sandbox"
 )
 
@@ -166,5 +168,69 @@ func TestParallelWorkerStreamsDiverge(t *testing.T) {
 	b := f.workers[1].r.Uint64()
 	if a == b {
 		t.Fatalf("worker streams emit identical first draw %d", a)
+	}
+}
+
+// TestRunUntilStopsAtDeadline checks the deadline-aware loop: workers make
+// progress, stop promptly once the deadline passes, and leave the shared
+// state synced.
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		f := newFleet(t, workers, 64, 7)
+		start := time.Now()
+		f.RunUntil(start.Add(50 * time.Millisecond))
+		elapsed := time.Since(start)
+		if f.Execs() == 0 {
+			t.Fatalf("workers=%d: no executions before deadline", workers)
+		}
+		// Generous bound: the loop re-checks the deadline every engine
+		// iteration, so overshoot is one iteration, not a merge window.
+		if elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: RunUntil overshot deadline by %v", workers, elapsed)
+		}
+		s := f.Stats()
+		if s.Execs != f.Execs() {
+			t.Fatalf("workers=%d: stats/execs mismatch", workers)
+		}
+	}
+}
+
+// TestRunUntilPastDeadlineIsNoop: a deadline already in the past performs no
+// executions.
+func TestRunUntilPastDeadlineIsNoop(t *testing.T) {
+	f := newFleet(t, 2, 64, 7)
+	f.RunUntil(time.Now().Add(-time.Second))
+	if f.Execs() != 0 {
+		t.Fatalf("past deadline ran %d execs, want 0", f.Execs())
+	}
+}
+
+// TestJournalSyncMatchesFullMerge: a fleet whose sync windows exchange
+// journal deltas must end with the same shared corpus a full MergeFrom walk
+// would produce (MergeFrom over the final worker states is what Stats and
+// Corpus still use).
+func TestJournalSyncMatchesFullMerge(t *testing.T) {
+	f := newFleet(t, 3, 128, 11)
+	f.Run(4000)
+	// Rebuild the union corpus from scratch with full walks.
+	full := corpus.New(0)
+	for _, w := range f.workers {
+		full.MergeFrom(w.corp)
+	}
+	got := f.Corpus()
+	if got.Len() == 0 {
+		t.Skip("campaign found no puzzles under this seed")
+	}
+	// The shared corpus may additionally hold puzzles a worker has since
+	// evicted locally, so compare as: every signature the full walk finds
+	// is present in the delta-synced corpus.
+	have := map[string]bool{}
+	for _, sig := range got.Signatures() {
+		have[sig] = true
+	}
+	for _, sig := range full.Signatures() {
+		if !have[sig] {
+			t.Fatalf("signature %q missing from delta-synced shared corpus", sig)
+		}
 	}
 }

@@ -16,8 +16,17 @@ type virginState struct {
 
 func newVirginState() *virginState { return &virginState{v: coverage.NewVirgin()} }
 
-func (s *virginState) Merge(raw []byte) bool { return s.v.Merge(raw) }
-func (s *virginState) Edges() int            { return s.v.Edges() }
+func (s *virginState) Merge(raw []byte) bool               { return s.v.Merge(raw) }
+func (s *virginState) MergeTracer(t *coverage.Tracer) bool { return s.v.MergeTracer(t) }
+func (s *virginState) Edges() int                          { return s.v.Edges() }
+
+// render serializes the working instance into an arena-backed buffer
+// pre-sized by Len — the zero-allocation JOINT. The seed lives until the
+// next arena reset (the following generation round); every consumer that
+// retains longer (crash bank, corpus, mutation queue) copies.
+func (e *Engine) render(inst *datamodel.Node) []byte {
+	return inst.AppendTo(e.arena.Buffer(inst.Len()))
+}
 
 // baselineGenerate implements Algorithm 1's per-iteration body for one
 // model: ANALYZE the chunks, GENERATE with Peach's inherent mutators, JOINT
@@ -29,34 +38,35 @@ func (s *virginState) Edges() int            { return s.v.Edges() }
 // mutators that target integrity fields themselves.
 func (e *Engine) baselineGenerate(m *datamodel.Model) []byte {
 	inst := e.skeleton(m)
-	leaves := inst.Leaves(nil)
+	e.leaves = inst.Leaves(e.leaves[:0])
 	// Mutate 1..3 leaves, geometrically biased toward 1.
 	k := 1
 	for k < 3 && e.r.Chance(3) {
 		k++
 	}
 	for ; k > 0; k-- {
-		e.mutateLeaf(rng.Pick(e.r, leaves))
+		e.mutateLeaf(rng.Pick(e.r, e.leaves))
 	}
 	if !e.r.Chance(8) {
 		m.ApplyFixups(inst)
 	}
-	return inst.Bytes()
+	return e.render(inst)
 }
 
 // skeleton picks the structural starting point for generation: the default
 // instance, occasionally a structurally randomized one (random choice
 // alternatives, array counts, field draws), or — once feedback has
 // retained some — a coverage-selected valuable instance of this model
-// ("mutation on existing chunks", §II, guided by §IV-B's feedback).
+// ("mutation on existing chunks", §II, guided by §IV-B's feedback). All
+// skeletons are arena-backed: they live exactly one generation round.
 func (e *Engine) skeleton(m *datamodel.Model) *datamodel.Node {
 	if q := e.valuable[m.Name]; len(q) > 0 && e.r.Chance(4) {
-		return e.pickValuable(q).Clone()
+		return e.pickValuable(q).CloneInto(&e.arena)
 	}
 	if e.r.Chance(8) {
-		return m.GenerateRandom(e.r)
+		return m.GenerateRandomInto(&e.arena, e.r)
 	}
-	return m.Generate()
+	return m.GenerateInto(&e.arena)
 }
 
 // mutateLeaf rewrites one leaf's bytes with a randomly selected applicable
@@ -73,36 +83,39 @@ func (e *Engine) mutateLeaf(leaf *datamodel.Node) {
 // model m by filling each chunk position with donor puzzles from the
 // corpus where available and with the inherent rule otherwise, then apply
 // File Fixup (§IV-D). The donor cartesian product is enumerated up to
-// MaxBatch seeds (the paper's p×q enumeration, bounded).
-func (e *Engine) semanticGenerate(m *datamodel.Model) [][]byte {
+// MaxBatch seeds (the paper's p×q enumeration, bounded). The batch is
+// appended to e.pending.
+func (e *Engine) semanticGenerate(m *datamodel.Model) {
 	// Donor recombination starts from a structurally sound base: the
 	// default instance or a coverage-selected valuable one — never the
 	// fully randomized skeleton, whose scrambled framing would waste the
 	// whole batch.
-	skeleton := m.Generate()
+	skeleton := m.GenerateInto(&e.arena)
 	if q := e.valuable[m.Name]; len(q) > 0 && e.r.Bool() {
-		skeleton = e.pickValuable(q).Clone()
+		skeleton = e.pickValuable(q).CloneInto(&e.arena)
 	}
-	leaves := skeleton.Leaves(nil)
+	e.leaves = skeleton.Leaves(e.leaves[:0])
+	leaves := e.leaves
 
 	// Candidate donors per position (GETDONOR, Algorithm 3 line 10).
-	candidates := make([][]corpus.Puzzle, len(leaves))
+	e.cands = e.cands[:0]
 	anyDonor := false
-	for i, leaf := range leaves {
+	for _, leaf := range leaves {
 		var donors []corpus.Puzzle
 		if e.cfg.DisableCrossModel {
 			donors = e.corp.Donors(leaf.Chunk)
 		} else {
 			donors = e.corp.CrossModelDonors(leaf.Chunk, m.Name)
 		}
-		candidates[i] = donors
+		e.cands = append(e.cands, donors)
 		if len(donors) > 0 {
 			anyDonor = true
 		}
 	}
 	if !anyDonor {
-		return nil
+		return
 	}
+	candidates := e.cands
 
 	// The donor cartesian product (Algorithm 3's p×q) is materialized
 	// exactly while it stays small; past MaxBatch it is sampled instead.
@@ -120,41 +133,44 @@ func (e *Engine) semanticGenerate(m *datamodel.Model) [][]byte {
 			break
 		}
 	}
+	clear(e.dedup)
 	if product <= e.cfg.MaxBatch {
-		return e.enumerateBatch(m, skeleton, leaves, candidates)
+		e.enumerateBatch(m, skeleton, leaves, candidates)
+	} else {
+		e.sampleBatch(m, skeleton, leaves, candidates)
 	}
-	return e.sampleBatch(m, skeleton, leaves, candidates)
 }
 
 // enumerateBatch is the literal recursion of Algorithm 3: every candidate
 // combination becomes one seed. The skeleton's own content participates as
-// one candidate per position, so fresh chunks mix with donated ones.
-func (e *Engine) enumerateBatch(m *datamodel.Model, skeleton *datamodel.Node, leaves []*datamodel.Node, candidates [][]corpus.Puzzle) [][]byte {
-	var seeds [][]byte
-	seen := map[string]bool{}
+// one candidate per position, so fresh chunks mix with donated ones. Donor
+// bytes are aliased, not copied, into the working tree: puzzles are
+// immutable once stored and the fixup pass never writes through a donatable
+// leaf (Donatable excludes relation/fixup/token chunks), so the alias is
+// read-only for its whole lifetime.
+func (e *Engine) enumerateBatch(m *datamodel.Model, skeleton *datamodel.Node, leaves []*datamodel.Node, candidates [][]corpus.Puzzle) {
 	var construct func(pos int)
 	construct = func(pos int) {
-		if len(seeds) >= e.cfg.MaxBatch {
+		if len(e.pending) >= e.cfg.MaxBatch {
 			return
 		}
 		if pos == len(leaves) { // EQUAL(CurPos, Size+1)
-			e.appendSeed(&seeds, seen, m, skeleton)
+			e.appendSeed(m, skeleton)
 			return
 		}
 		leaf := leaves[pos]
 		saved := leaf.Data
 		construct(pos + 1) // skeleton's own content
 		for _, donor := range candidates[pos] {
-			if len(seeds) >= e.cfg.MaxBatch {
+			if len(e.pending) >= e.cfg.MaxBatch {
 				break
 			}
-			leaf.Data = append([]byte(nil), donor.Data...)
+			leaf.Data = donor.Data
 			construct(pos + 1)
 		}
 		leaf.Data = saved
 	}
 	construct(0)
-	return seeds
 }
 
 // sampleBatch draws sampleBatchSize independent points from the product
@@ -163,42 +179,40 @@ func (e *Engine) enumerateBatch(m *datamodel.Model, skeleton *datamodel.Node, le
 // content. Batches stay small and diverse.
 const sampleBatchSize = 3
 
-func (e *Engine) sampleBatch(m *datamodel.Model, skeleton *datamodel.Node, leaves []*datamodel.Node, candidates [][]corpus.Puzzle) [][]byte {
-	var seeds [][]byte
-	seen := map[string]bool{}
-	for k := 0; k < sampleBatchSize && len(seeds) < e.cfg.MaxBatch; k++ {
-		saved := make([][]byte, len(leaves))
+func (e *Engine) sampleBatch(m *datamodel.Model, skeleton *datamodel.Node, leaves []*datamodel.Node, candidates [][]corpus.Puzzle) {
+	for k := 0; k < sampleBatchSize && len(e.pending) < e.cfg.MaxBatch; k++ {
+		e.saved = e.saved[:0]
 		for i, leaf := range leaves {
-			saved[i] = leaf.Data
+			e.saved = append(e.saved, leaf.Data)
 			donors := candidates[i]
 			if len(donors) == 0 || e.r.Bool() {
 				continue
 			}
-			leaf.Data = append([]byte(nil), rng.Pick(e.r, donors).Data...)
+			leaf.Data = rng.Pick(e.r, donors).Data
 			// A light mutation on top of a donor probes the
 			// neighbourhood of known-good content.
 			if e.r.Chance(8) {
 				e.mutateLeaf(leaf)
 			}
 		}
-		e.appendSeed(&seeds, seen, m, skeleton)
+		e.appendSeed(m, skeleton)
 		for i, leaf := range leaves {
-			leaf.Data = saved[i]
+			leaf.Data = e.saved[i]
 		}
 	}
-	return seeds
 }
 
-// appendSeed finishes the working instance and appends it unless the batch
-// already contains an identical packet.
-func (e *Engine) appendSeed(seeds *[][]byte, seen map[string]bool, m *datamodel.Model, inst *datamodel.Node) {
+// appendSeed finishes the working instance and appends it to the pending
+// batch unless the batch already contains an identical packet. The
+// map[string]bool lookup over string(seed) does not allocate; only genuinely
+// new seeds pay for a key.
+func (e *Engine) appendSeed(m *datamodel.Model, inst *datamodel.Node) {
 	seed := e.finishSeed(m, inst)
-	key := string(seed)
-	if seen[key] {
+	if e.dedup[string(seed)] {
 		return
 	}
-	seen[key] = true
-	*seeds = append(*seeds, seed)
+	e.dedup[string(seed)] = true
+	e.pending = append(e.pending, seed)
 }
 
 // finishSeed renders the working instance to bytes, applying File Fixup
@@ -208,5 +222,5 @@ func (e *Engine) finishSeed(m *datamodel.Model, inst *datamodel.Node) []byte {
 	if !e.cfg.DisableFixup {
 		m.ApplyFixups(inst)
 	}
-	return inst.Bytes()
+	return e.render(inst)
 }

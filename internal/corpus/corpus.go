@@ -35,6 +35,14 @@ type Corpus struct {
 	seen     map[string]bool // dedup key: signature + "\x00" + data
 	puzzles  int
 	inserted int
+	// journal is the append-only list of accepted puzzles in acceptance
+	// order. Sync peers remember how far into a corpus's journal they have
+	// read (JournalLen) and exchange only the tail (MergeJournal), making a
+	// sync window O(puzzles since last sync) instead of O(corpus). Entries
+	// are never removed — an evicted puzzle's journal entry just dedups or
+	// bounces off a full signature when replayed — so memory is O(accepted
+	// over the campaign), the same order as the dedup key set.
+	journal []Puzzle
 }
 
 // DefaultPerSignature bounds stored puzzles per construction rule. The
@@ -83,6 +91,7 @@ func (c *Corpus) Add(p Puzzle) bool {
 	}
 	c.bySig[p.Signature] = append(list, p)
 	c.puzzles++
+	c.journal = append(c.journal, p)
 	return true
 }
 
@@ -168,7 +177,30 @@ func (c *Corpus) addNoEvict(p Puzzle) bool {
 	c.inserted++
 	c.bySig[p.Signature] = append(c.bySig[p.Signature], p)
 	c.puzzles++
+	c.journal = append(c.journal, p)
 	return true
+}
+
+// JournalLen returns the current length of the acceptance journal — the
+// mark a sync peer records to resume reading the journal later.
+func (c *Corpus) JournalLen() int { return len(c.journal) }
+
+// MergeJournal folds o's puzzles accepted since mark (a previous JournalLen
+// of o) into c and returns o's new journal length. Like MergeFrom it never
+// evicts — deltas only fill spare signature capacity — and puzzle data is
+// shared, not copied. This is the incremental form of MergeFrom used by the
+// sharded campaign runner's sync windows: cost is proportional to what o
+// accepted since the last window, not to the whole corpus.
+func (c *Corpus) MergeJournal(o *Corpus, mark int) (added, newMark int) {
+	if mark < 0 {
+		mark = 0
+	}
+	for _, p := range o.journal[mark:] {
+		if c.addNoEvict(p) {
+			added++
+		}
+	}
+	return added, len(o.journal)
 }
 
 // Len returns the number of stored puzzles.

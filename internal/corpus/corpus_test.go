@@ -193,3 +193,82 @@ func TestMergeFromNeverEvicts(t *testing.T) {
 		t.Fatalf("repeat merge added %d puzzles, want 0", got)
 	}
 }
+
+func TestJournalRecordsAcceptedPuzzles(t *testing.T) {
+	c := New(0)
+	if c.JournalLen() != 0 {
+		t.Fatalf("fresh journal length = %d, want 0", c.JournalLen())
+	}
+	c.Add(puzzle("sig", "a", "m"))
+	c.Add(puzzle("sig", "a", "m")) // duplicate: rejected, not journaled
+	c.Add(puzzle("sig", "b", "m"))
+	if got := c.JournalLen(); got != 2 {
+		t.Fatalf("journal length = %d, want 2 (accepted only)", got)
+	}
+}
+
+func TestMergeJournalAppliesOnlyTheDelta(t *testing.T) {
+	src, dst := New(0), New(0)
+	src.Add(puzzle("sig", "a", "m"))
+	src.Add(puzzle("sig", "b", "m"))
+
+	added, mark := dst.MergeJournal(src, 0)
+	if added != 2 || mark != 2 {
+		t.Fatalf("first delta: added=%d mark=%d, want 2,2", added, mark)
+	}
+	// Nothing new: replay from the mark is a no-op.
+	if added, mark = dst.MergeJournal(src, mark); added != 0 || mark != 2 {
+		t.Fatalf("empty delta: added=%d mark=%d, want 0,2", added, mark)
+	}
+	// New material after the mark is picked up, old entries are not
+	// re-scanned.
+	src.Add(puzzle("sig", "c", "m"))
+	if added, mark = dst.MergeJournal(src, mark); added != 1 || mark != 3 {
+		t.Fatalf("second delta: added=%d mark=%d, want 1,3", added, mark)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("dst corpus = %d puzzles, want 3", dst.Len())
+	}
+}
+
+func TestMergeJournalMatchesMergeFrom(t *testing.T) {
+	src := New(0)
+	for i := 0; i < 10; i++ {
+		src.Add(puzzle(fmt.Sprintf("sig%d", i%3), fmt.Sprintf("d%d", i), "m"))
+	}
+	viaFrom, viaJournal := New(2), New(2)
+	viaFrom.MergeFrom(src)
+	viaJournal.MergeJournal(src, 0)
+	if viaFrom.Len() != viaJournal.Len() {
+		t.Fatalf("journal merge = %d puzzles, full merge = %d", viaJournal.Len(), viaFrom.Len())
+	}
+	for _, sig := range viaFrom.Signatures() {
+		if len(viaFrom.bySig[sig]) != len(viaJournal.bySig[sig]) {
+			t.Fatalf("signature %q: journal %d vs full %d", sig, len(viaJournal.bySig[sig]), len(viaFrom.bySig[sig]))
+		}
+	}
+}
+
+func TestMergeJournalNeverEvicts(t *testing.T) {
+	src, dst := New(0), New(1)
+	dst.Add(puzzle("sig", "local", "m"))
+	src.Add(puzzle("sig", "remote", "m"))
+	if added, _ := dst.MergeJournal(src, 0); added != 0 {
+		t.Fatalf("delta into full signature added %d, want 0", added)
+	}
+	if got := dst.bySig["sig"][0].Data; string(got) != "local" {
+		t.Fatalf("delta merge displaced local puzzle: %q", got)
+	}
+}
+
+func TestMergedPuzzlesPropagateThroughJournal(t *testing.T) {
+	// A puzzle pulled from the shared corpus enters the worker's journal,
+	// so a third peer syncing against the worker still sees it.
+	a, b, c := New(0), New(0), New(0)
+	a.Add(puzzle("sig", "x", "m"))
+	b.MergeJournal(a, 0)
+	c.MergeJournal(b, 0)
+	if c.Len() != 1 {
+		t.Fatalf("puzzle did not propagate: c has %d", c.Len())
+	}
+}

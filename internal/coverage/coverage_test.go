@@ -299,3 +299,273 @@ func TestMergeVirginBucketGranularity(t *testing.T) {
 		t.Fatalf("edges = %d, want 1 (same edge, richer buckets)", got)
 	}
 }
+
+// --- word-level scan vs byte-level reference ---
+//
+// The hot-path rewrite views maps as 64-bit words, skips zero words, and
+// buckets through the 16-bit lookup table. These tests pin the word
+// implementations to byte-at-a-time reference transcriptions of the original
+// definitions, over maps exercising word boundaries, dense regions, and the
+// full counter range. Bit-for-bit equality here is what guarantees campaign
+// determinism across the rewrite.
+
+// refVirgin is the byte-at-a-time Merge/WouldMerge/edge accounting.
+type refVirgin struct {
+	seen  [MapSize]byte
+	edges int
+}
+
+func (v *refVirgin) merge(raw []byte) bool {
+	valuable := false
+	for i, c := range raw {
+		if c == 0 {
+			continue
+		}
+		b := bucket(c)
+		if v.seen[i]&b == 0 {
+			if v.seen[i] == 0 {
+				v.edges++
+			}
+			v.seen[i] |= b
+			valuable = true
+		}
+	}
+	return valuable
+}
+
+func refHash(raw []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i, c := range raw {
+		if c == 0 {
+			continue
+		}
+		h ^= uint64(i)
+		h *= prime
+		h ^= uint64(bucket(c))
+		h *= prime
+	}
+	return h
+}
+
+// testMaps builds a set of coverage maps that stress the word scan: empty,
+// single edges at word-boundary offsets, dense clusters, every counter
+// value, and pseudo-random sparse maps.
+func testMaps() [][]byte {
+	var maps [][]byte
+	add := func(fill func(m []byte)) {
+		m := make([]byte, MapSize)
+		fill(m)
+		maps = append(maps, m)
+	}
+	add(func(m []byte) {})
+	for _, off := range []int{0, 1, 7, 8, 9, 63, 64, MapSize - 8, MapSize - 1} {
+		off := off
+		add(func(m []byte) { m[off] = 1 })
+	}
+	add(func(m []byte) {
+		for i := 0; i < 256; i++ {
+			m[i] = byte(i) // dense run with every counter value
+		}
+	})
+	add(func(m []byte) {
+		for i := range m {
+			m[i] = byte(i * 7) // fully dense
+		}
+	})
+	state := uint64(0x9E3779B97F4A7C15)
+	add(func(m []byte) {
+		for i := 0; i < 300; i++ { // sparse pseudo-random (the realistic case)
+			state = state*6364136223846793005 + 1442695040888963407
+			m[uint16(state>>33)] = byte(state>>17) | 1
+		}
+	})
+	return maps
+}
+
+func TestMergeMatchesByteReference(t *testing.T) {
+	v, ref := NewVirgin(), &refVirgin{}
+	for mi, m := range testMaps() {
+		if got, want := v.Merge(m), ref.merge(m); got != want {
+			t.Fatalf("map %d: Merge = %v, reference = %v", mi, got, want)
+		}
+		if v.Edges() != ref.edges {
+			t.Fatalf("map %d: edges = %d, reference = %d", mi, v.Edges(), ref.edges)
+		}
+		if v.seen != ref.seen {
+			t.Fatalf("map %d: accumulator state diverged from reference", mi)
+		}
+	}
+}
+
+func TestWouldMergeMatchesMerge(t *testing.T) {
+	v := NewVirgin()
+	for mi, m := range testMaps() {
+		probe := *v // WouldMerge must predict Merge on a copy
+		if got, want := v.WouldMerge(m), probe.Merge(m); got != want {
+			t.Fatalf("map %d: WouldMerge = %v, Merge = %v", mi, got, want)
+		}
+		v.Merge(m)
+	}
+}
+
+func TestHashMatchesByteReference(t *testing.T) {
+	for mi, m := range testMaps() {
+		if got, want := Hash(m), refHash(m); got != want {
+			t.Fatalf("map %d: Hash = %#x, reference = %#x", mi, got, want)
+		}
+	}
+}
+
+func TestClassifyMatchesBucket(t *testing.T) {
+	for mi, m := range testMaps() {
+		want := make([]byte, len(m))
+		for i, c := range m {
+			want[i] = bucket(c)
+		}
+		Classify(m)
+		for i := range m {
+			if m[i] != want[i] {
+				t.Fatalf("map %d: Classify[%d] = %d, want %d", mi, i, m[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCountEdgesMatchesByteReference(t *testing.T) {
+	tr := NewTracer()
+	state := uint64(1)
+	for i := 0; i < 500; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		tr.Hit(BlockID(state >> 48))
+	}
+	want := 0
+	for _, c := range tr.Raw() {
+		if c != 0 {
+			want++
+		}
+	}
+	if got := tr.CountEdges(); got != want {
+		t.Fatalf("CountEdges = %d, want %d", got, want)
+	}
+}
+
+func TestClassLUTMatchesBucketPairs(t *testing.T) {
+	for i := 0; i < 1<<16; i += 257 { // stride covers all byte pairs' classes
+		lo, hi := byte(i), byte(i>>8)
+		want := uint16(bucket(lo)) | uint16(bucket(hi))<<8
+		if classLUT[i] != want {
+			t.Fatalf("classLUT[%#x] = %#x, want %#x", i, classLUT[i], want)
+		}
+	}
+}
+
+// hitTracer replays a pseudo-random block sequence, the way real targets
+// populate a tracer.
+func hitTracer(n int, seed uint64) *Tracer {
+	tr := NewTracer()
+	state := seed
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		tr.Hit(BlockID(state >> 48))
+	}
+	return tr
+}
+
+func TestMergeTracerMatchesMergeRaw(t *testing.T) {
+	a, b := NewVirgin(), NewVirgin()
+	for round := 0; round < 10; round++ {
+		tr := hitTracer(50+round*40, uint64(round+1))
+		if got, want := a.MergeTracer(tr), b.Merge(tr.Raw()); got != want {
+			t.Fatalf("round %d: MergeTracer = %v, Merge = %v", round, got, want)
+		}
+		if a.Edges() != b.Edges() {
+			t.Fatalf("round %d: edges %d vs %d", round, a.Edges(), b.Edges())
+		}
+		if a.seen != b.seen {
+			t.Fatalf("round %d: accumulator state diverged", round)
+		}
+	}
+}
+
+func TestPathHashMatchesHashRaw(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		tr := hitTracer(30+round*60, uint64(round+7))
+		if got, want := tr.PathHash(), Hash(tr.Raw()); got != want {
+			t.Fatalf("round %d: PathHash = %#x, Hash = %#x", round, got, want)
+		}
+	}
+}
+
+func TestSparseResetClearsEverything(t *testing.T) {
+	tr := hitTracer(400, 99)
+	tr.Reset()
+	for i, c := range tr.Raw() {
+		if c != 0 {
+			t.Fatalf("map[%d] = %d after Reset", i, c)
+		}
+	}
+	for _, w := range tr.dirty {
+		if w != 0 {
+			t.Fatal("dirty index not cleared by Reset")
+		}
+	}
+	if tr.PathHash() != Hash(tr.Raw()) {
+		t.Fatal("empty tracer hash mismatch")
+	}
+	// The tracer must be fully reusable after a sparse reset.
+	tr.Hit(7)
+	if tr.Raw()[7] != 1 || tr.CountEdges() != 1 {
+		t.Fatal("tracer unusable after sparse Reset")
+	}
+}
+
+// sparseMap builds a realistic ~300-edge map for the scan benchmarks.
+func sparseMap() []byte {
+	m := make([]byte, MapSize)
+	state := uint64(42)
+	for i := 0; i < 300; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		m[uint16(state>>33)] = byte(state>>17) | 1
+	}
+	return m
+}
+
+func BenchmarkMergeSparse(b *testing.B) {
+	m := sparseMap()
+	v := NewVirgin()
+	v.Merge(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Merge(m)
+	}
+}
+
+func BenchmarkHashSparse(b *testing.B) {
+	m := sparseMap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hash(m)
+	}
+}
+
+func BenchmarkMergeSparseByteReference(b *testing.B) {
+	m := sparseMap()
+	v := &refVirgin{}
+	v.merge(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.merge(m)
+	}
+}
+
+func BenchmarkHashSparseByteReference(b *testing.B) {
+	m := sparseMap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refHash(m)
+	}
+}

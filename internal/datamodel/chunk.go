@@ -11,7 +11,10 @@
 //     (§IV-D, File Fixup).
 package datamodel
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind discriminates chunk node types.
 type Kind int
@@ -193,25 +196,42 @@ type Chunk struct {
 	// MaxCount bounds Array length during generation and cracking
 	// (0 = default bound).
 	MaxCount int
+
+	// sig caches RuleSignature, precomputed by Model.Validate (which every
+	// engine runs before its workers start, so the writes happen-before any
+	// concurrent read). Empty until then; RuleSignature recomputes on the
+	// fly for chunks used outside a validated model.
+	sig string
 }
 
 // Model is a named data model: the root is implicitly a Block over Fields.
 // One format specification (Pit) usually carries several models, one per
 // packet type (§III: M_1 … M_n, typically one per opcode value).
+//
+// Models are used via pointer and must not be copied by value (the cached
+// root holds a sync.Once), nor have Fields mutated after first use.
 type Model struct {
 	Name   string
 	Fields []*Chunk
+
+	rootOnce  sync.Once
+	rootChunk *Chunk
 }
 
 // root wraps the model's fields as a synthetic Block so tree algorithms can
-// treat the model uniformly.
+// treat the model uniformly. The wrapper is built once — root sits on the
+// per-execution generate and crack paths.
 func (m *Model) root() *Chunk {
-	return &Chunk{Name: m.Name, Kind: Block, Children: m.Fields}
+	m.rootOnce.Do(func() {
+		m.rootChunk = &Chunk{Name: m.Name, Kind: Block, Children: m.Fields}
+	})
+	return m.rootChunk
 }
 
 // Validate checks structural well-formedness: widths in range, children
 // present where required, relation/fixup references resolvable, unique
-// names among leaves that are referenced.
+// names among leaves that are referenced. It also precomputes every chunk's
+// donor-rule signature, making RuleSignature allocation-free afterwards.
 func (m *Model) Validate() error {
 	if m.Name == "" {
 		return fmt.Errorf("datamodel: model has no name")
@@ -286,6 +306,7 @@ func (m *Model) Validate() error {
 				}
 			}
 		}
+		c.sig = computeRuleSignature(c)
 		for _, ch := range c.Children {
 			if err := walk(ch); err != nil {
 				return err

@@ -109,7 +109,13 @@ func (p *cracker) parseAt(c *Chunk, off, end int) (*Node, int, error) {
 		if len(c.Legal) > 0 && !containsU64(c.Legal, v) {
 			return nil, 0, crackErr("number %q: %d not in legal set", c.Name, v)
 		}
-		n := &Node{Chunk: c, Data: append([]byte(nil), raw...)}
+		n := &Node{Chunk: c}
+		if c.Width <= len(n.store) {
+			n.Data = n.store[:c.Width]
+			copy(n.Data, raw)
+		} else {
+			n.Data = append([]byte(nil), raw...)
+		}
 		p.recordRelation(c, v)
 		return n, off + c.Width, nil
 

@@ -1,6 +1,21 @@
 package datamodel
 
-import "hash/crc32"
+import (
+	"hash/crc32"
+	"sync"
+)
+
+// fixupBufPool recycles the checksum serialization scratch across ApplyFixups
+// calls. The buffer cannot live on the stack (it threads through a recursive
+// walk, so escape analysis heap-allocates it) and cannot live on the Model
+// (models are shared read-only across parallel workers); a pool gives every
+// concurrent caller an amortized-free buffer.
+var fixupBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
 
 // ApplyFixups re-establishes the model's integrity constraints on an
 // instance tree, in place: size-of/count-of/offset-of relations first
@@ -17,8 +32,12 @@ func (m *Model) ApplyFixups(root *Node) {
 	for pass := 0; pass < 2; pass++ {
 		applyRelations(root, root)
 	}
-	// Fixups last: checksums cover final bytes.
-	applyChecksums(root, root)
+	// Fixups last: checksums cover final bytes. The covered regions are
+	// serialized into one pooled scratch buffer threaded through the walk,
+	// so the pass allocates nothing for packet-sized covers.
+	bp := fixupBufPool.Get().(*[]byte)
+	*bp = applyChecksums(root, root, (*bp)[:0])
+	fixupBufPool.Put(bp)
 }
 
 // applyRelations walks the subtree, resolving each Number relation against
@@ -77,18 +96,19 @@ func offsetOf(root, target *Node) int {
 }
 
 // applyChecksums computes each fixup field from the serialized bytes of the
-// chunks it covers.
-func applyChecksums(root, n *Node) {
+// chunks it covers. buf is the reusable serialization scratch; the grown
+// buffer is returned so siblings share one backing array.
+func applyChecksums(root, n *Node, buf []byte) []byte {
 	for _, c := range n.Children {
-		applyChecksums(root, c)
+		buf = applyChecksums(root, c, buf)
 	}
 	if n.Chunk.Fix == nil {
-		return
+		return buf
 	}
-	var covered []byte
+	covered := buf[:0]
 	for _, name := range n.Chunk.Fix.Over {
 		if t := root.Find(name); t != nil {
-			covered = append(covered, t.Bytes()...)
+			covered = t.AppendTo(covered)
 		}
 	}
 	sum := Checksum(n.Chunk.Fix.Kind, covered)
@@ -96,8 +116,13 @@ func applyChecksums(root, n *Node) {
 	case Number:
 		n.SetUint(sum & widthMask(n.Chunk.Width))
 	case Blob:
-		n.Data = encodeUint(sum, len(n.Data), Big)
+		if len(n.Data) <= 8 {
+			putUint(n.Data, sum, Big)
+		} else {
+			n.Data = encodeUint(sum, len(n.Data), Big)
+		}
 	}
+	return covered
 }
 
 // Checksum computes the named checksum over data, returning it as an

@@ -7,8 +7,12 @@ import "repro/internal/rng"
 // first alternative. Relations and fixups are then established, so the
 // result is a legal packet — the starting point of Algorithm 1 before any
 // mutator runs.
-func (m *Model) Generate() *Node {
-	n := generateChunk(m.root(), nil)
+func (m *Model) Generate() *Node { return m.GenerateInto(nil) }
+
+// GenerateInto is Generate drawing all nodes, child slices and leaf bytes
+// from the arena (nil means the heap) — the engine's per-iteration path.
+func (m *Model) GenerateInto(a *Arena) *Node {
+	n := generateChunk(a, m.root(), nil)
 	m.ApplyFixups(n)
 	return n
 }
@@ -19,16 +23,20 @@ func (m *Model) Generate() *Node {
 // small count. Tokens keep their defaults — they define the packet type.
 // Fixups are applied, so the output is structurally legal. This is the
 // "random generation" mutator class of §II.
-func (m *Model) GenerateRandom(r *rng.RNG) *Node {
-	n := generateChunk(m.root(), r)
+func (m *Model) GenerateRandom(r *rng.RNG) *Node { return m.GenerateRandomInto(nil, r) }
+
+// GenerateRandomInto is GenerateRandom backed by the arena (nil = heap).
+func (m *Model) GenerateRandomInto(a *Arena, r *rng.RNG) *Node {
+	n := generateChunk(a, m.root(), r)
 	m.ApplyFixups(n)
 	return n
 }
 
 // generateChunk builds the instance subtree for c. A nil RNG requests the
 // deterministic default instance.
-func generateChunk(c *Chunk, r *rng.RNG) *Node {
-	n := &Node{Chunk: c}
+func generateChunk(a *Arena, c *Chunk, r *rng.RNG) *Node {
+	n := a.Node()
+	n.Chunk = c
 	switch c.Kind {
 	case Number:
 		v := c.Default
@@ -40,33 +48,40 @@ func generateChunk(c *Chunk, r *rng.RNG) *Node {
 				v = r.Uint64() & widthMask(c.Width)
 			}
 		}
-		n.Data = encodeUint(v, c.Width, c.Endian)
+		if c.Width <= len(n.store) {
+			n.Data = n.store[:c.Width]
+			putUint(n.Data, v, c.Endian)
+		} else {
+			n.Data = encodeUint(v, c.Width, c.Endian)
+		}
 	case String, Blob:
-		n.Data = defaultPayload(c, r)
+		n.Data = defaultPayload(a, c, r)
 	case Block:
+		n.Children = a.Children(len(c.Children))
 		for _, ch := range c.Children {
-			n.Children = append(n.Children, generateChunk(ch, r))
+			n.Children = append(n.Children, generateChunk(a, ch, r))
 		}
 	case Choice:
 		alt := c.Children[0]
 		if r != nil {
 			alt = rng.Pick(r, c.Children)
 		}
-		n.Children = append(n.Children, generateChunk(alt, r))
+		n.Children = append(a.Children(1), generateChunk(a, alt, r))
 	case Array:
 		count := 1
 		if r != nil {
 			count = r.Range(1, arrayBound(c))
 		}
+		n.Children = a.Children(count)
 		for i := 0; i < count; i++ {
-			n.Children = append(n.Children, generateChunk(c.Children[0], r))
+			n.Children = append(n.Children, generateChunk(a, c.Children[0], r))
 		}
 	}
 	return n
 }
 
 // defaultPayload produces leaf bytes for a String or Blob chunk.
-func defaultPayload(c *Chunk, r *rng.RNG) []byte {
+func defaultPayload(a *Arena, c *Chunk, r *rng.RNG) []byte {
 	size := c.Size
 	if size == Variable {
 		size = c.MinSize
@@ -77,7 +92,7 @@ func defaultPayload(c *Chunk, r *rng.RNG) []byte {
 			size = len(c.DefaultBytes)
 		}
 	}
-	out := make([]byte, size)
+	out := a.Bytes(size)
 	if len(c.DefaultBytes) > 0 {
 		copy(out, c.DefaultBytes)
 	}

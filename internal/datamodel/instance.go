@@ -9,10 +9,18 @@ import (
 // Node is one node of an instantiation tree (Definition 1): the same shape
 // as the model tree, but with leaves carrying realistic data bytes instead
 // of construction rules.
+//
+// Nodes are always used through pointers; copying a Node value whose Data
+// aliases its inline store would leave the copy's Data pointing at the
+// original.
 type Node struct {
 	Chunk    *Chunk
 	Data     []byte  // leaf payload (Number: Width bytes in wire order)
 	Children []*Node // interior node children
+	// store inlines short leaf payloads — every Number leaf (≤ 8 wire
+	// bytes) encodes here instead of a heap slice, so SetUint and the
+	// fixup pass allocate nothing.
+	store [8]byte
 }
 
 // IsLeaf reports whether the node carries data directly.
@@ -22,18 +30,23 @@ func (n *Node) IsLeaf() bool {
 }
 
 // Bytes renders the subtree to wire bytes by in-order concatenation of leaf
-// data — the JOINT operation of Algorithms 1 and 2.
+// data — the JOINT operation of Algorithms 1 and 2. One buffer is pre-sized
+// via Len, so rendering is a single allocation regardless of depth.
 func (n *Node) Bytes() []byte {
+	return n.AppendTo(make([]byte, 0, n.Len()))
+}
+
+// AppendTo appends the subtree's wire bytes to dst and returns it — the
+// allocation-free JOINT: callers render into a reused or pre-sized buffer
+// (see Len) instead of paying the per-level append cascade Bytes once did.
+func (n *Node) AppendTo(dst []byte) []byte {
 	if n.IsLeaf() {
-		out := make([]byte, len(n.Data))
-		copy(out, n.Data)
-		return out
+		return append(dst, n.Data...)
 	}
-	var out []byte
 	for _, c := range n.Children {
-		out = append(out, c.Bytes()...)
+		dst = c.AppendTo(dst)
 	}
-	return out
+	return dst
 }
 
 // Len returns the serialized byte length of the subtree without allocating
@@ -49,15 +62,29 @@ func (n *Node) Len() int {
 	return total
 }
 
-// Clone deep-copies the subtree.
-func (n *Node) Clone() *Node {
-	out := &Node{Chunk: n.Chunk}
+// Clone deep-copies the subtree onto the heap.
+func (n *Node) Clone() *Node { return n.CloneInto(nil) }
+
+// CloneInto deep-copies the subtree, drawing nodes, child slices and leaf
+// bytes from the arena (nil means the heap). Short leaf payloads land in
+// the clone's inline store. The clone shares nothing with the original, so
+// arena-backed clones of retained instances are safe to mutate and discard.
+func (n *Node) CloneInto(a *Arena) *Node {
+	out := a.Node()
+	out.Chunk = n.Chunk
 	if n.Data != nil {
-		out.Data = make([]byte, len(n.Data))
+		if len(n.Data) <= len(out.store) {
+			out.Data = out.store[:len(n.Data)]
+		} else {
+			out.Data = a.Bytes(len(n.Data))
+		}
 		copy(out.Data, n.Data)
 	}
-	for _, c := range n.Children {
-		out.Children = append(out.Children, c.Clone())
+	if len(n.Children) > 0 {
+		out.Children = a.Children(len(n.Children))
+		for _, c := range n.Children {
+			out.Children = append(out.Children, c.CloneInto(a))
+		}
 	}
 	return out
 }
@@ -85,12 +112,21 @@ func (n *Node) Uint() uint64 {
 	return decodeUint(n.Data, n.Chunk.Endian)
 }
 
-// SetUint encodes v into the Number leaf's data.
+// SetUint encodes v into the Number leaf's data, in place into the node's
+// inline store — no allocation. The leaf's Data is repointed at the store,
+// detaching it from whatever backing (cracked bytes, a donor puzzle) it had
+// before, so the previous backing is never written through.
 func (n *Node) SetUint(v uint64) {
 	if n.Chunk.Kind != Number {
 		panic(fmt.Sprintf("datamodel: SetUint on %s node %q", n.Chunk.Kind, n.Chunk.Name))
 	}
-	n.Data = encodeUint(v, n.Chunk.Width, n.Chunk.Endian)
+	w := n.Chunk.Width
+	if w > len(n.store) {
+		n.Data = encodeUint(v, w, n.Chunk.Endian)
+		return
+	}
+	n.Data = n.store[:w]
+	putUint(n.Data, v, n.Chunk.Endian)
 }
 
 // Leaves appends all leaf nodes in document order to dst and returns it.
@@ -143,6 +179,22 @@ func encodeUint(v uint64, width int, e Endian) []byte {
 		}
 	}
 	return out
+}
+
+// putUint encodes v's low len(dst) bytes into dst in the given byte order —
+// the in-place form of encodeUint for pre-sized destinations (≤ 8 bytes).
+func putUint(dst []byte, v uint64, e Endian) {
+	if e == Big {
+		for i := len(dst) - 1; i >= 0; i-- {
+			dst[i] = byte(v)
+			v >>= 8
+		}
+	} else {
+		for i := range dst {
+			dst[i] = byte(v)
+			v >>= 8
+		}
+	}
 }
 
 // decodeUint is the inverse of encodeUint.

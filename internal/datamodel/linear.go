@@ -52,6 +52,14 @@ func LinearizeInstance(root *Node) []*Node {
 // token fields (they define the packet type) are not donor-compatible with
 // anything; they get a unique non-donatable signature.
 func RuleSignature(c *Chunk) string {
+	if c.sig != "" {
+		return c.sig // precomputed by Model.Validate; no allocation
+	}
+	return computeRuleSignature(c)
+}
+
+// computeRuleSignature builds the signature string; see RuleSignature.
+func computeRuleSignature(c *Chunk) string {
 	if c.Fix != nil || c.Rel != nil {
 		return fmt.Sprintf("fixed/%s/%s", c.Kind, c.Name)
 	}

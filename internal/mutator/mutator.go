@@ -199,18 +199,31 @@ func Suite() []Mutator {
 }
 
 // Pick selects a uniformly random mutator applicable to the chunk, or nil
-// when none applies (interior chunks).
+// when none applies (interior chunks). The applicable set is counted and
+// indexed in place rather than materialized, so Pick is allocation-free on
+// the per-leaf hot path; the single Intn draw over the same count keeps the
+// RNG stream identical to the materializing implementation.
 func Pick(r *rng.RNG, suite []Mutator, c *datamodel.Chunk) Mutator {
-	var apt []Mutator
+	apt := 0
 	for _, m := range suite {
 		if m.Applies(c) {
-			apt = append(apt, m)
+			apt++
 		}
 	}
-	if len(apt) == 0 {
+	if apt == 0 {
 		return nil
 	}
-	return rng.Pick(r, apt)
+	k := r.Intn(apt)
+	for _, m := range suite {
+		if !m.Applies(c) {
+			continue
+		}
+		if k == 0 {
+			return m
+		}
+		k--
+	}
+	return nil // unreachable
 }
 
 // --- helpers ---

@@ -85,7 +85,9 @@ func (r *Runner) Tracer() *coverage.Tracer { return r.tracer }
 func (r *Runner) Run(packet []byte) (res Result) {
 	r.tracer.Reset()
 	defer func() {
-		res.PathSig = coverage.Hash(r.tracer.Raw())
+		// PathHash walks only the lines this execution dirtied; the value
+		// is identical to coverage.Hash over the full map.
+		res.PathSig = r.tracer.PathHash()
 		rec := recover()
 		if rec == nil {
 			return

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -224,6 +225,20 @@ func (c *Campaign) build(workers int) error {
 // repeatedly to extend a campaign.
 func (c *Campaign) Run(execBudget int) {
 	c.fleet.Run(execBudget)
+}
+
+// RunUntil fuzzes until the wall-clock deadline. The deadline is checked
+// inside every worker's loop, so the campaign stops within one engine
+// iteration of it rather than finishing out a fixed execution slice; each
+// worker syncs its discoveries into the shared state before returning. It
+// may be called repeatedly (and mixed with Run) to extend a campaign.
+func (c *Campaign) RunUntil(deadline time.Time) {
+	c.fleet.RunUntil(deadline)
+}
+
+// RunFor is RunUntil with a relative wall-clock budget.
+func (c *Campaign) RunFor(d time.Duration) {
+	c.fleet.RunUntil(time.Now().Add(d))
 }
 
 // RunParallel fuzzes until at least execBudget total target executions have
