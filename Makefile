@@ -1,14 +1,15 @@
 # CI entry points for the Peach* reproduction. `make ci` is the full gate;
 # the individual targets are what it runs. `make check` is the fast
-# pre-commit gate: build + vet + race + the hot-path allocation guard.
+# pre-commit gate: build + vet + race + the hot-path allocation guard +
+# the docs gate.
 
 GO ?= go
 
-.PHONY: ci check build vet test race fuzz alloc-guard bench-parallel bench-hotpath clean
+.PHONY: ci check build vet test race fuzz alloc-guard docs-check bench-parallel bench-hotpath bench-fleetnet clean
 
-ci: build vet test race
+ci: build vet test race docs-check
 
-check: build vet race alloc-guard
+check: build vet race alloc-guard docs-check
 
 build:
 	$(GO) build ./...
@@ -21,9 +22,32 @@ test:
 
 # The parallel campaign runner must be data-race free: every TestParallel*
 # test (core fleet, public API, crash bank concurrency) plus the
-# deadline-aware loop under -race.
+# deadline-aware loop under -race. The fleetnet loopback suite (hub +
+# concurrent leaves) runs under -race in docs-check, which ci and check
+# both include.
 race:
 	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil' ./internal/core ./internal/crash ./peachstar
+
+# Documentation gate: vet (which checks doc-comment placement pragmas),
+# a package-doc presence check over every library package, and the
+# fleetnet loopback suite — including the 2-node convergence integration
+# test — under -race (the protocol documented in ARCHITECTURE.md must
+# actually hold).
+docs-check:
+	@$(GO) vet ./...
+	@fail=0; \
+	for dir in internal/core internal/corpus internal/coverage internal/crash \
+	           internal/datamodel internal/fleetnet internal/mem internal/mutator \
+	           internal/pit internal/rng internal/sandbox internal/bench \
+	           internal/targets peachstar; do \
+	  pkg=$$(basename $$dir); \
+	  if ! grep -l "^// Package $$pkg " $$dir/*.go >/dev/null 2>&1; then \
+	    echo "docs-check: package $$dir has no '// Package $$pkg' doc comment"; fail=1; \
+	  fi; \
+	done; \
+	test -f ARCHITECTURE.md || { echo "docs-check: ARCHITECTURE.md missing"; fail=1; }; \
+	exit $$fail
+	$(GO) test -race ./internal/fleetnet
 
 # Allocation-regression guard: the steady-state Peach* exec path must stay
 # within the per-exec allocation budget (see hotpath_test.go).
@@ -48,6 +72,14 @@ bench-parallel:
 bench-hotpath:
 	$(GO) run ./cmd/benchhotpath
 	$(GO) test -bench 'BenchmarkHotpathLibmodbus' -benchtime 100000x -run XXX .
+
+# Fleetnet sync-window cost over TCP loopback: emits the
+# BENCH_fleetnet.json measurement fields (per-window latency/bytes, the
+# empty-window protocol floor, and the full-resync reconnect cost) at both
+# the tight 256-exec window and the default 1024.
+bench-fleetnet:
+	$(GO) run ./cmd/benchfleetnet -window 256
+	$(GO) run ./cmd/benchfleetnet -window 1024
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,158 @@
+// Command benchfleetnet measures the cost of a fleetnet sync window — the
+// wire exchange a leaf performs with its hub every N executions — over TCP
+// loopback on libmodbus, and emits the BENCH_fleetnet.json measurement
+// fields as one JSON object on stdout. `make bench-fleetnet` runs it.
+//
+// Three figures matter for sizing a fleet:
+//
+//   - steady-window cost: wall time and bytes of a sync after `-window`
+//     fresh executions (the per-window overhead a leaf actually pays);
+//   - empty-window round trip: a sync with nothing new on either side
+//     (the protocol floor: framing + one empty delta each way);
+//   - full-resync cost: the first window of a reconnecting leaf whose
+//     session state was lost (shadow bitmap reset, journal replayed).
+//
+// Usage:
+//
+//	benchfleetnet [-windows 200] [-window 256] [-warmup 50000] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleetnet"
+	"repro/internal/targets"
+
+	_ "repro/internal/targets/modbus"
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	windows := flag.Int("windows", 200, "sync windows to measure")
+	window := flag.Int("window", 256, "executions per sync window")
+	warmup := flag.Int("warmup", 50000, "executions before measuring (coverage near saturation)")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	tgt, err := targets.New("libmodbus")
+	if err != nil {
+		die(err)
+	}
+	state := core.NewSyncState(0)
+	hub, err := fleetnet.NewHub(fleetnet.HubConfig{State: state, Target: "libmodbus", Models: tgt.Models()})
+	if err != nil {
+		die(err)
+	}
+	if err := hub.ListenAndServe("127.0.0.1:0"); err != nil {
+		die(err)
+	}
+	defer hub.Close()
+
+	fleet, err := core.NewFleet(core.Config{
+		Models:   tgt.Models(),
+		Target:   tgt,
+		Strategy: core.StrategyPeachStar,
+		Seed:     *seed,
+	}, core.ParallelConfig{Workers: 1})
+	if err != nil {
+		die(err)
+	}
+	leaf, err := fleetnet.NewLeaf(fleetnet.LeafConfig{
+		Fleet: fleet, Addr: hub.Addr(), Target: "libmodbus", Models: tgt.Models(),
+	})
+	if err != nil {
+		die(err)
+	}
+	defer leaf.Close()
+
+	// Warm up: build coverage and corpus so measured windows carry the
+	// trickle of novelty a long campaign's windows do, not cold-start floods.
+	if err := leaf.Run(*warmup, *window); err != nil {
+		die(err)
+	}
+
+	// Steady windows: window execs of fuzzing, then one sync.
+	tx0, rx0 := leaf.Traffic()
+	var fuzzTotal, syncTotal, syncMax time.Duration
+	for i := 0; i < *windows; i++ {
+		start := time.Now()
+		fleet.Run(fleet.Execs() + *window)
+		fuzzTotal += time.Since(start)
+		start = time.Now()
+		if err := leaf.Sync(); err != nil {
+			die(err)
+		}
+		d := time.Since(start)
+		syncTotal += d
+		if d > syncMax {
+			syncMax = d
+		}
+	}
+	tx1, rx1 := leaf.Traffic()
+
+	// Empty windows: sync again with no new executions — protocol floor.
+	var emptyTotal time.Duration
+	const emptyRounds = 100
+	for i := 0; i < emptyRounds; i++ {
+		start := time.Now()
+		if err := leaf.Sync(); err != nil {
+			die(err)
+		}
+		emptyTotal += time.Since(start)
+	}
+	tx2, rx2 := leaf.Traffic()
+
+	// Full resync: a replacement leaf process attaching the same campaign
+	// state cold — fresh shadow bitmap and journal cursor on both sides,
+	// so the entire bitmap and corpus cross the wire once, each way.
+	leaf.Close()
+	leaf2, err := fleetnet.NewLeaf(fleetnet.LeafConfig{
+		Fleet: fleet, Addr: hub.Addr(), Target: "libmodbus", Models: tgt.Models(),
+	})
+	if err != nil {
+		die(err)
+	}
+	defer leaf2.Close()
+	start := time.Now()
+	if err := leaf2.Sync(); err != nil {
+		die(err)
+	}
+	resync := time.Since(start)
+	rtx, rrx := leaf2.Traffic()
+
+	s := fleet.Stats()
+	out := map[string]any{
+		"warmup_execs":            fleet.Execs(),
+		"edges_at_measurement":    s.Edges,
+		"corpus_puzzles":          s.CorpusPuzzles,
+		"window_execs":            *window,
+		"windows_measured":        *windows,
+		"sync_us_avg":             float64(syncTotal.Microseconds()) / float64(*windows),
+		"sync_us_max":             float64(syncMax.Microseconds()),
+		"sync_tx_bytes_avg":       float64(tx1-tx0) / float64(*windows),
+		"sync_rx_bytes_avg":       float64(rx1-rx0) / float64(*windows),
+		"empty_sync_us_avg":       float64(emptyTotal.Microseconds()) / float64(emptyRounds),
+		"empty_sync_tx_bytes_avg": float64(tx2-tx1) / float64(emptyRounds),
+		"empty_sync_rx_bytes_avg": float64(rx2-rx1) / float64(emptyRounds),
+		"full_resync_us":          float64(resync.Microseconds()),
+		"full_resync_tx_bytes":    rtx,
+		"full_resync_rx_bytes":    rrx,
+		// Share of a leaf's wall clock spent syncing rather than fuzzing
+		// at this window size — the number that sizes -sync-every.
+		"sync_overhead_pct": 100 * float64(syncTotal) / float64(fuzzTotal+syncTotal),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		die(err)
+	}
+}

@@ -1,11 +1,15 @@
 // Command peachstar fuzzes one of the built-in ICS protocol targets with
 // either the baseline Peach strategy or the full Peach* strategy, printing
-// progress and any unique crashes found.
+// progress and any unique crashes found. It can also take part in a
+// distributed fleet: -serve makes this node a sync hub, -connect makes it
+// a leaf of one (see the README's "Distributed campaigns" section).
 //
 // Usage:
 //
 //	peachstar -target libmodbus -strategy peachstar -execs 50000 -seed 1
 //	peachstar -target libmodbus -execs 200000 -workers 4
+//	peachstar -target libmodbus -serve :7712 -execs 0            # hub (aggregator only)
+//	peachstar -target libmodbus -connect host:7712 -seed-stream 1 -execs 100000
 //	peachstar -list
 package main
 
@@ -13,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/peachstar"
@@ -21,20 +27,28 @@ import (
 
 func main() {
 	var (
-		target   = flag.String("target", "libmodbus", "protocol target to fuzz")
-		strategy = flag.String("strategy", "peachstar", "peach | peachstar")
-		execs    = flag.Int("execs", 50000, "target executions to run")
-		seed     = flag.Uint64("seed", 1, "campaign seed (reproducible)")
-		duration = flag.Duration("duration", 0, "wall-clock budget (overrides -execs when set)")
-		report   = flag.Int("report", 10, "number of progress reports")
-		workers  = flag.Int("workers", 1, "parallel worker engines sharing the exec budget")
-		list     = flag.Bool("list", false, "list available targets and exit")
+		target     = flag.String("target", "libmodbus", "protocol target to fuzz")
+		strategy   = flag.String("strategy", "peachstar", "peach | peachstar")
+		execs      = flag.Int("execs", 50000, "target executions to run (0 with -serve: aggregate only)")
+		seed       = flag.Uint64("seed", 1, "campaign seed (reproducible)")
+		duration   = flag.Duration("duration", 0, "wall-clock budget (overrides -execs when set)")
+		report     = flag.Int("report", 10, "number of progress reports")
+		workers    = flag.Int("workers", 1, "parallel worker engines sharing the exec budget")
+		serve      = flag.String("serve", "", "serve fleet sync to remote leaves on this host:port (hub node)")
+		connect    = flag.String("connect", "", "sync with the fleet hub at this host:port (leaf node)")
+		syncEvery  = flag.Int("sync-every", 1024, "leaf executions between hub syncs (with -connect)")
+		seedStream = flag.Int("seed-stream", 0, "RNG stream offset for this node's workers; give each leaf a disjoint range")
+		list       = flag.Bool("list", false, "list available targets and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(peachstar.TargetNames(), "\n"))
 		return
+	}
+	if *serve != "" && *connect != "" {
+		fmt.Fprintln(os.Stderr, "a node cannot both -serve and -connect (relay topologies are unsupported)")
+		os.Exit(2)
 	}
 
 	var strat peachstar.Strategy
@@ -54,24 +68,47 @@ func main() {
 		os.Exit(2)
 	}
 	campaign, err := peachstar.NewCampaign(peachstar.Options{
-		Target:   tgt,
-		Strategy: strat,
-		Seed:     *seed,
-		Workers:  *workers,
+		Target:     tgt,
+		Strategy:   strat,
+		Seed:       *seed,
+		Workers:    *workers,
+		SeedStream: *seedStream,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	fmt.Printf("fuzzing %s with %s (seed %d, %d workers)\n", *target, strat, *seed, campaign.Workers())
+	var hub *peachstar.SyncServer
+	if *serve != "" {
+		hub, err = campaign.ServeSync(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer hub.Close()
+		fmt.Printf("serving fleet sync on %s\n", hub.Addr())
+	}
+
+	var leaf *peachstar.SyncLeaf
+	if *connect != "" {
+		leaf, err = campaign.DialSync(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer leaf.Close()
+		fmt.Printf("syncing with fleet hub at %s (every %d execs)\n", *connect, *syncEvery)
+	}
+
+	fmt.Printf("fuzzing %s with %s (seed %d, stream %d, %d workers)\n",
+		*target, strat, *seed, *seedStream, campaign.Workers())
 	start := time.Now()
-	if *duration > 0 {
+	switch {
+	case *duration > 0:
 		// Deadline-aware run: the deadline is checked inside every
 		// worker's loop, so the campaign stops within one iteration of
 		// the budget instead of rounding up to a full exec slice.
-		// Progress is reported at interval boundaries between RunUntil
-		// segments.
 		deadline := start.Add(*duration)
 		interval := *duration
 		if *report > 0 {
@@ -84,17 +121,48 @@ func main() {
 			if next.After(deadline) {
 				next = deadline
 			}
-			campaign.RunUntil(next)
-			printProgress(campaign, start)
+			if leaf != nil {
+				if err := leaf.RunSyncedUntil(next, *syncEvery); err != nil {
+					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
+				}
+			} else {
+				campaign.RunUntil(next)
+			}
+			printProgress(campaign, leaf, hub, start)
 		}
-	} else {
+	case *execs > 0:
 		per := *execs / *report
 		if per < 1 {
 			per = 1
 		}
 		for done := per; done <= *execs; done += per {
-			campaign.Run(done)
-			printProgress(campaign, start)
+			if leaf != nil {
+				if err := leaf.RunSynced(done, *syncEvery); err != nil {
+					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
+				}
+			} else {
+				campaign.Run(done)
+			}
+			printProgress(campaign, leaf, hub, start)
+		}
+	}
+
+	if hub != nil {
+		// Hub nodes outlive their own budget: keep aggregating leaves
+		// until interrupted, reporting periodically.
+		fmt.Println("local budget spent; serving fleet sync until interrupted (Ctrl-C)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+	serveLoop:
+		for {
+			select {
+			case <-sig:
+				break serveLoop
+			case <-tick.C:
+				printProgress(campaign, nil, hub, start)
+			}
 		}
 	}
 
@@ -107,8 +175,18 @@ func main() {
 	}
 }
 
-func printProgress(c *peachstar.Campaign, start time.Time) {
+func printProgress(c *peachstar.Campaign, leaf *peachstar.SyncLeaf, hub *peachstar.SyncServer, start time.Time) {
 	s := c.Stats()
-	fmt.Printf("%8.1fs  execs %8d  paths %5d  edges %5d  crashes %3d  corpus %5d\n",
+	line := fmt.Sprintf("%8.1fs  execs %8d  paths %5d  edges %5d  crashes %3d  corpus %5d",
 		time.Since(start).Seconds(), s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+	if leaf != nil {
+		if fexecs, fedges, nodes, ok := leaf.FleetStats(); ok {
+			line += fmt.Sprintf("  | fleet execs %8d  edges %5d  leaves %2d", fexecs, fedges, nodes)
+		}
+	}
+	if hub != nil {
+		rexecs, _, connected := hub.RemoteStats()
+		line += fmt.Sprintf("  | +%d remote execs, %d leaves", rexecs, connected)
+	}
+	fmt.Println(line)
 }

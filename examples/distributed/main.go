@@ -1,0 +1,118 @@
+// Distributed: one fleet-sync hub plus two leaf campaigns, all on
+// loopback in a single process — the smallest complete demonstration of a
+// multi-host Peach* fleet. On real hardware each block below runs as its
+// own `peachstar` process on its own machine (`-serve` for the hub,
+// `-connect` for the leaves); the protocol is identical.
+//
+//	go run ./examples/distributed [-execs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/peachstar"
+)
+
+func main() {
+	execs := flag.Int("execs", 30000, "total execution budget across both leaves")
+	flag.Parse()
+
+	// --- Hub node -------------------------------------------------------
+	// The hub owns the fleet-wide campaign state. Here it only
+	// aggregates (it runs no executions of its own), which is the
+	// `peachstar -serve :7712 -execs 0` configuration; giving it a budget
+	// too would make it a fuzzing hub.
+	hubTarget, err := peachstar.NewTarget("libmodbus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hubCampaign, err := peachstar.NewCampaign(peachstar.Options{
+		Target:   hubTarget,
+		Strategy: peachstar.PeachStar,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hub, err := hubCampaign.ServeSync("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hub.Close()
+	fmt.Printf("hub: serving fleet sync on %s\n", hub.Addr())
+
+	// --- Leaf nodes -----------------------------------------------------
+	// Every leaf shares the campaign seed but fuzzes its own RNG stream
+	// (SeedStream), so the fleet is one reproducible campaign with no
+	// duplicated work. On separate machines this block is
+	// `peachstar -connect hub:7712 -seed 1 -seed-stream <k>`.
+	type node struct {
+		name     string
+		campaign *peachstar.Campaign
+		leaf     *peachstar.SyncLeaf
+	}
+	var leaves []*node
+	for k := 0; k < 2; k++ {
+		target, err := peachstar.NewTarget("libmodbus")
+		if err != nil {
+			log.Fatal(err)
+		}
+		campaign, err := peachstar.NewCampaign(peachstar.Options{
+			Target:     target,
+			Strategy:   peachstar.PeachStar,
+			Seed:       1,
+			SeedStream: k,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaf, err := campaign.DialSync(hub.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer leaf.Close()
+		leaves = append(leaves, &node{name: fmt.Sprintf("leaf-%d", k), campaign: campaign, leaf: leaf})
+	}
+
+	// Run both leaves concurrently, each spending half the budget and
+	// syncing with the hub every 1024 executions.
+	var wg sync.WaitGroup
+	for _, n := range leaves {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if err := n.leaf.RunSynced(*execs/2, 1024); err != nil {
+				log.Printf("%s: %v", n.name, err)
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	// Settlement round: one more sync each, so the last leaf to finish
+	// has its final discoveries propagated to everyone.
+	for _, n := range leaves {
+		if err := n.leaf.Sync(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Every node now agrees on the campaign union.
+	for _, n := range leaves {
+		s := n.campaign.Stats()
+		fmt.Printf("%s: %d execs locally, %d edges, %d unique crashes, corpus %d puzzles\n",
+			n.name, s.Execs, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+	}
+	remoteExecs, _, _ := hub.RemoteStats()
+	_, fleetEdges, _, _ := leaves[0].leaf.FleetStats()
+	fmt.Printf("hub: %d remote execs aggregated, %d edges in the fleet union\n", remoteExecs, fleetEdges)
+
+	a, b := leaves[0].campaign.Stats(), leaves[1].campaign.Stats()
+	if a.Edges == b.Edges && a.Edges == fleetEdges {
+		fmt.Printf("fleet converged: all nodes report %d edges\n", fleetEdges)
+	} else {
+		fmt.Printf("fleet NOT converged: %d vs %d vs hub %d edges\n", a.Edges, b.Edges, fleetEdges)
+	}
+}

@@ -1,0 +1,37 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke keeps every runnable example honest: each must build,
+// and the distributed example — the only one whose correctness is a
+// cross-process-shaped property rather than just printed output — must run
+// to convergence on loopback.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example subprocesses are slow under -short")
+	}
+	for _, dir := range []string{
+		"./examples/quickstart",
+		"./examples/crackdemo",
+		"./examples/custompit",
+		"./examples/vulnaudit",
+		"./examples/distributed",
+	} {
+		out, err := exec.Command("go", "build", "-o", "/dev/null", dir).CombinedOutput()
+		if err != nil {
+			t.Fatalf("example %s does not build: %v\n%s", dir, err, out)
+		}
+	}
+
+	out, err := exec.Command("go", "run", "./examples/distributed", "-execs", "12000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("distributed example failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fleet converged") {
+		t.Fatalf("distributed example did not converge:\n%s", out)
+	}
+}

@@ -41,6 +41,11 @@ type ParallelConfig struct {
 	// MergeEvery is the per-worker execution count between shared-state
 	// syncs (0 = DefaultMergeEvery).
 	MergeEvery int
+	// SeedStream offsets the RNG stream indices the workers draw: worker i
+	// fuzzes with rng.Split(Config.Seed, SeedStream+i). Zero for a local
+	// fleet; distributed leaves sharing one campaign seed use disjoint
+	// offsets so no two hosts fuzz the same stream.
+	SeedStream int
 }
 
 // Fleet is one fuzzing campaign sharded across parallel worker engines. A
@@ -52,29 +57,64 @@ type ParallelConfig struct {
 // be called concurrently with Run.
 type Fleet struct {
 	workers []*Engine
+	peers   []*workerPeer
 	merge   int
-
-	// Shared campaign state, guarded by mu. Workers touch it only at sync
-	// points; everything else they own privately.
-	mu     sync.Mutex
-	virgin *coverage.Virgin // union of all workers' observed coverage
-	corp   *corpus.Corpus   // union of all workers' puzzle corpora
-	// marks holds each worker's journal positions: how much of the
-	// worker's corpus journal has been pushed into the shared corpus, and
-	// how much of the shared journal has been pulled back out. Deltas make
-	// a sync window O(puzzles found since the last window), not O(corpus).
-	marks []syncMark
+	// state is the shared campaign state. Workers touch it only at sync
+	// points; everything else they own privately. A network transport
+	// attaches to the same state (see State), which is how remote
+	// discoveries reach the workers: they arrive in the shared state and
+	// the workers' next pull folds them out.
+	state *SyncState
 }
 
-// syncMark is one worker's read positions into the two corpus journals.
-type syncMark struct {
-	pushed int // into the worker's own journal
-	pulled int // into the shared corpus's journal
+// workerPeer adapts one worker engine to the SyncPeer merge path. It holds
+// the worker's journal cursors: how much of the worker's corpus journal has
+// been pushed into the shared corpus, and how much of the shared journal
+// has been pulled back out. Deltas make a sync window O(puzzles found since
+// the last window), not O(corpus).
+type workerPeer struct {
+	w      *Engine
+	pushed int // cursor into the worker's own journal
+	pulled int // cursor into the shared corpus's journal
+	// selfID registers the fleet as the consumer of the worker's journal,
+	// sharedID registers the worker as a consumer of the shared journal;
+	// both feed journal compaction.
+	selfID   int
+	sharedID int
+}
+
+// Exchange is the local half of the merge protocol (invoked under the
+// shared-state lock): publish this worker's coverage and puzzles, then fold
+// the shared state back into the worker. The pull half is what makes
+// sharding more than N independent campaigns — a worker stops re-counting
+// paths the fleet has already found and gains donor material cracked by its
+// peers (local or, through the network transport, remote). After each
+// window the consumed journal prefixes are compacted away on both sides.
+func (p *workerPeer) Exchange(virgin *coverage.Virgin, corp *corpus.Corpus, crashes *crash.Bank) error {
+	w := p.w
+	virgin.MergeVirgin(w.virgin.v)
+	w.virgin.v.MergeVirgin(virgin)
+	_, p.pushed = corp.MergeJournal(w.corp, p.pushed)
+	w.corp.AdvancePeer(p.selfID, p.pushed)
+	w.corp.CompactJournal()
+	_, p.pulled = w.corp.MergeJournal(corp, p.pulled)
+	corp.AdvancePeer(p.sharedID, p.pulled)
+	corp.CompactJournal()
+	// Publish the worker's unique faults so a network hub can relay them;
+	// Absorb is an idempotent max-count merge, so republishing every
+	// window never inflates counts. Unique faults are rare, so the
+	// snapshot cost is negligible against a merge window.
+	if w.crashes.Unique() > 0 {
+		for _, r := range w.crashes.Records() {
+			crashes.Absorb(r)
+		}
+	}
+	return nil
 }
 
 // NewFleet validates the configuration and builds the worker engines.
-// Worker i fuzzes with seed rng.Split(cfg.Seed, i); models are shared across
-// workers (chunks are immutable once built), targets are not.
+// Worker i fuzzes with seed rng.Split(cfg.Seed, SeedStream+i); models are
+// shared across workers (chunks are immutable once built), targets are not.
 func NewFleet(cfg Config, pcfg ParallelConfig) (*Fleet, error) {
 	workers := pcfg.Workers
 	if workers < 1 {
@@ -88,13 +128,12 @@ func NewFleet(cfg Config, pcfg ParallelConfig) (*Fleet, error) {
 		merge = DefaultMergeEvery
 	}
 	f := &Fleet{
-		merge:  merge,
-		virgin: coverage.NewVirgin(),
-		corp:   corpus.New(cfg.CorpusPerSig),
+		merge: merge,
+		state: NewSyncState(cfg.CorpusPerSig),
 	}
 	for i := 0; i < workers; i++ {
 		wcfg := cfg
-		wcfg.Seed = rng.Split(cfg.Seed, i)
+		wcfg.Seed = rng.Split(cfg.Seed, pcfg.SeedStream+i)
 		if i > 0 {
 			wcfg.Target = pcfg.NewTarget()
 		}
@@ -103,9 +142,32 @@ func NewFleet(cfg Config, pcfg ParallelConfig) (*Fleet, error) {
 			return nil, err
 		}
 		f.workers = append(f.workers, eng)
+		f.peers = append(f.peers, &workerPeer{
+			w:        eng,
+			selfID:   eng.corp.RegisterPeer(0),
+			sharedID: f.state.corp.RegisterPeer(0),
+		})
 	}
-	f.marks = make([]syncMark, len(f.workers))
 	return f, nil
+}
+
+// State exposes the fleet's shared campaign state, the attachment point for
+// the network transport: a fleetnet hub serves it to remote leaves, a
+// fleetnet leaf exchanges it with its hub. Anything merged into the state
+// reaches the workers at their next sync window.
+func (f *Fleet) State() *SyncState { return f.state }
+
+// SyncAll runs one merge window for every worker, serialized against any
+// concurrent peers of the shared state. Network leaves call it to flush
+// worker discoveries into the shared state before an uplink exchange (and
+// to fold freshly arrived remote state back out): the single-worker
+// Run/RunUntil paths never sync on their own, preserving their bit-for-bit
+// equivalence with the serial engine, so the flush must be explicit. Must
+// not be called while Run is in flight.
+func (f *Fleet) SyncAll() {
+	for _, p := range f.peers {
+		f.state.Exchange(p)
+	}
 }
 
 // Workers returns the fleet's parallelism.
@@ -206,23 +268,13 @@ func (f *Fleet) runWorker(w *Engine, i, target int) {
 	}
 }
 
-// sync is the batched merge: publish this worker's coverage and puzzles into
-// the shared state, then fold the shared state back into the worker. The
-// pull half is what makes sharding more than N independent campaigns — a
-// worker stops re-counting paths the fleet has already found (so cracking
-// effort is not duplicated) and gains donor material cracked by its peers.
-// Corpus exchange is journal-delta based: each direction replays only the
-// puzzles accepted since this worker's previous window (the worker's pull
-// also skips its own just-pushed entries via dedup), so a window costs
-// O(new puzzles), not O(corpus).
+// sync runs one batched merge window for worker i — see workerPeer.Exchange
+// for the protocol. Corpus exchange is journal-delta based: each direction
+// replays only the puzzles accepted since this worker's previous window
+// (the worker's pull also skips its own just-pushed entries via dedup), so
+// a window costs O(new puzzles), not O(corpus).
 func (f *Fleet) sync(w *Engine, i int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.virgin.MergeVirgin(w.virgin.v)
-	w.virgin.v.MergeVirgin(f.virgin)
-	m := &f.marks[i]
-	_, m.pushed = f.corp.MergeJournal(w.corp, m.pushed)
-	_, m.pulled = w.corp.MergeJournal(f.corp, m.pulled)
+	f.state.Exchange(f.peers[i])
 }
 
 // Stats aggregates the campaign snapshot across workers: execution and path
@@ -237,7 +289,13 @@ func (f *Fleet) sync(w *Engine, i int) {
 // the merged union and never double-counts — prefer it when comparing runs
 // at different worker counts.
 func (f *Fleet) Stats() Stats {
-	if len(f.workers) == 1 {
+	// The single-worker shortcut reads the engine directly — but only
+	// while the shared state is untouched. Once anything has been merged
+	// in (a network hub's remote material, an explicit SyncAll), the
+	// union path below is the truthful snapshot: an aggregator hub that
+	// executes nothing itself must still report the fleet's edges,
+	// corpus, and crashes.
+	if len(f.workers) == 1 && f.state.empty() {
 		return f.workers[0].Stats()
 	}
 	var s Stats
@@ -249,30 +307,46 @@ func (f *Fleet) Stats() Stats {
 		s.SemanticExecs += ws.SemanticExecs
 		s.SemanticPaths += ws.SemanticPaths
 	}
-	f.mu.Lock()
+	st := f.state
+	st.mu.Lock()
 	for _, w := range f.workers {
-		f.virgin.MergeVirgin(w.virgin.v)
-		f.corp.MergeFrom(w.corp)
+		st.virgin.MergeVirgin(w.virgin.v)
+		st.corp.MergeFrom(w.corp)
 	}
-	s.Edges = f.virgin.Edges()
-	s.CorpusPuzzles = f.corp.Len()
-	f.mu.Unlock()
+	s.Edges = st.virgin.Edges()
+	s.CorpusPuzzles = st.corp.Len()
+	st.mu.Unlock()
 	bank := f.Crashes()
 	s.UniqueCrashes = bank.Unique()
 	s.Hangs = bank.Hangs()
 	return s
 }
 
-// Crashes merges the workers' crash banks into one campaign-level bank,
-// deduplicating faults found by several workers. A fresh bank is built per
-// call so repeated snapshots never double-count.
+// Crashes merges the workers' crash banks — plus any records that arrived
+// from remote fleet nodes via the shared state — into one campaign-level
+// bank, deduplicating faults found by several workers. A fresh bank is
+// built per call so repeated snapshots never double-count. Remote records
+// are folded with Absorb (idempotent max-count merge), so a local fault
+// echoed back by a hub never inflates its own count.
 func (f *Fleet) Crashes() *crash.Bank {
 	if len(f.workers) == 1 {
-		return f.workers[0].Crashes()
+		remote := f.state.CrashRecords()
+		if len(remote) == 0 {
+			return f.workers[0].Crashes()
+		}
+		bank := crash.NewBank()
+		bank.MergeFrom(f.workers[0].crashes)
+		for _, r := range remote {
+			bank.Absorb(r)
+		}
+		return bank
 	}
 	bank := crash.NewBank()
 	for _, w := range f.workers {
 		bank.MergeFrom(w.crashes)
+	}
+	for _, r := range f.state.CrashRecords() {
+		bank.Absorb(r)
 	}
 	return bank
 }
@@ -280,13 +354,14 @@ func (f *Fleet) Crashes() *crash.Bank {
 // Corpus returns the shared campaign corpus after folding in every worker's
 // local puzzles.
 func (f *Fleet) Corpus() *corpus.Corpus {
-	if len(f.workers) == 1 {
+	if len(f.workers) == 1 && f.state.CorpusLen() == 0 {
 		return f.workers[0].Corpus()
 	}
-	f.mu.Lock()
+	st := f.state
+	st.mu.Lock()
 	for _, w := range f.workers {
-		f.corp.MergeFrom(w.corp)
+		st.corp.MergeFrom(w.corp)
 	}
-	f.mu.Unlock()
-	return f.corp
+	st.mu.Unlock()
+	return st.corp
 }

@@ -116,7 +116,7 @@ func TestParallelCoverageExchange(t *testing.T) {
 	f.Run(3000)
 	_ = f.Stats() // folds final worker state into the shared union
 
-	shared := f.virgin.Edges()
+	shared := f.state.Edges()
 	for i, w := range f.workers {
 		if we := w.virgin.v.Edges(); we > shared {
 			t.Fatalf("worker %d knows %d edges, shared union only %d", i, we, shared)
@@ -231,6 +231,62 @@ func TestJournalSyncMatchesFullMerge(t *testing.T) {
 	for _, sig := range full.Signatures() {
 		if !have[sig] {
 			t.Fatalf("signature %q missing from delta-synced shared corpus", sig)
+		}
+	}
+}
+
+// TestSeedStreamOffsetsWorkerSeeds: a distributed leaf with SeedStream k
+// must fuzz exactly the RNG streams workers k..k+n-1 of a local fleet
+// would, so hosts sharing a campaign seed never duplicate a stream.
+func TestSeedStreamOffsetsWorkerSeeds(t *testing.T) {
+	local := newFleet(t, 3, 64, 42)
+	leaf, err := NewFleet(Config{
+		Models:   toyModels(),
+		Target:   newToyTarget(),
+		Strategy: StrategyPeachStar,
+		Seed:     42,
+	}, ParallelConfig{Workers: 1, SeedStream: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := leaf.workers[0].cfg.Seed, local.workers[2].cfg.Seed; got != want {
+		t.Fatalf("SeedStream=2 worker seed = %d, local worker 2 seed = %d", got, want)
+	}
+}
+
+// TestSyncAllFlushesSingleWorkerFleet: the single-worker Run path never
+// syncs (serial equivalence), so SyncAll is the explicit flush a network
+// leaf uses; after it, the shared state must hold the worker's discoveries.
+func TestSyncAllFlushesSingleWorkerFleet(t *testing.T) {
+	f := newFleet(t, 1, 0, 42)
+	f.Run(3000)
+	if f.state.Edges() != 0 {
+		t.Fatal("single-worker Run should not have touched the shared state")
+	}
+	f.SyncAll()
+	if got, want := f.state.Edges(), f.workers[0].virgin.Edges(); got != want {
+		t.Fatalf("shared edges after SyncAll = %d, worker knows %d", got, want)
+	}
+	if f.state.CorpusLen() != f.workers[0].corp.Len() {
+		t.Fatalf("shared corpus = %d puzzles, worker has %d",
+			f.state.CorpusLen(), f.workers[0].corp.Len())
+	}
+}
+
+// TestFleetSyncCompactsJournals: after steady syncing, neither the shared
+// corpus journal nor the workers' journals may retain their fully consumed
+// prefixes (the multi-day-campaign memory property from the ROADMAP).
+func TestFleetSyncCompactsJournals(t *testing.T) {
+	f := newFleet(t, 2, 64, 5)
+	f.Run(6000)
+	f.SyncAll()
+	st := f.state
+	if base, n := st.corp.JournalBase(), st.corp.JournalLen(); base == 0 && n > 0 {
+		t.Fatalf("shared journal never compacted: base %d, len %d", base, n)
+	}
+	for i, w := range f.workers {
+		if base, n := w.corp.JournalBase(), w.corp.JournalLen(); base == 0 && n > 0 {
+			t.Fatalf("worker %d journal never compacted: base %d, len %d", i, base, n)
 		}
 	}
 }

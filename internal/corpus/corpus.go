@@ -35,14 +35,24 @@ type Corpus struct {
 	seen     map[string]bool // dedup key: signature + "\x00" + data
 	puzzles  int
 	inserted int
-	// journal is the append-only list of accepted puzzles in acceptance
-	// order. Sync peers remember how far into a corpus's journal they have
-	// read (JournalLen) and exchange only the tail (MergeJournal), making a
-	// sync window O(puzzles since last sync) instead of O(corpus). Entries
-	// are never removed — an evicted puzzle's journal entry just dedups or
-	// bounces off a full signature when replayed — so memory is O(accepted
-	// over the campaign), the same order as the dedup key set.
-	journal []Puzzle
+	// journal is the list of accepted puzzles in acceptance order. Sync
+	// peers remember how far into a corpus's journal they have read
+	// (JournalLen) and exchange only the tail (MergeJournal), making a
+	// sync window O(puzzles since last sync) instead of O(corpus). An
+	// evicted puzzle's journal entry just dedups or bounces off a full
+	// signature when replayed.
+	//
+	// The journal is logically append-only but physically compactable:
+	// CompactJournal drops the prefix every registered peer has already
+	// consumed, so memory on a long campaign is O(unconsumed tail), not
+	// O(accepted over the campaign). journalBase is the absolute index of
+	// journal[0]; all cursors (marks) are absolute, so compaction never
+	// invalidates a live cursor.
+	journal     []Puzzle
+	journalBase int
+	// peerCursors holds, per registered sync peer, the absolute journal
+	// index that peer has consumed up to. -1 marks a dropped peer slot.
+	peerCursors []int
 }
 
 // DefaultPerSignature bounds stored puzzles per construction rule. The
@@ -181,9 +191,16 @@ func (c *Corpus) addNoEvict(p Puzzle) bool {
 	return true
 }
 
-// JournalLen returns the current length of the acceptance journal — the
-// mark a sync peer records to resume reading the journal later.
-func (c *Corpus) JournalLen() int { return len(c.journal) }
+// JournalLen returns the absolute length of the acceptance journal — the
+// mark a sync peer records to resume reading the journal later. Marks are
+// absolute positions: they stay valid across CompactJournal.
+func (c *Corpus) JournalLen() int { return c.journalBase + len(c.journal) }
+
+// JournalBase returns the absolute index of the oldest journal entry still
+// held — the compaction horizon. A mark below it can no longer be resumed
+// incrementally; MergeJournal and ReadJournal fall back to a full replay of
+// the corpus's current contents.
+func (c *Corpus) JournalBase() int { return c.journalBase }
 
 // MergeJournal folds o's puzzles accepted since mark (a previous JournalLen
 // of o) into c and returns o's new journal length. Like MergeFrom it never
@@ -191,16 +208,127 @@ func (c *Corpus) JournalLen() int { return len(c.journal) }
 // shared, not copied. This is the incremental form of MergeFrom used by the
 // sharded campaign runner's sync windows: cost is proportional to what o
 // accepted since the last window, not to the whole corpus.
+//
+// If mark falls outside o's live journal — below the compaction horizon
+// (a reconnecting network peer whose cursor was compacted away) or beyond
+// the end (a cursor issued by some previous incarnation of o, e.g. a hub
+// that restarted with lost state) — the incremental tail is meaningless
+// and the call degrades to MergeFrom: a full replay of o's current
+// contents, which converges to the same corpus as replaying the lost
+// entries would have (dropped entries either dedup or bounce off full
+// signatures).
 func (c *Corpus) MergeJournal(o *Corpus, mark int) (added, newMark int) {
-	if mark < 0 {
-		mark = 0
+	if mark < o.journalBase || mark > o.JournalLen() {
+		return c.MergeFrom(o), o.JournalLen()
 	}
-	for _, p := range o.journal[mark:] {
+	for _, p := range o.journal[mark-o.journalBase:] {
 		if c.addNoEvict(p) {
 			added++
 		}
 	}
-	return added, len(o.journal)
+	return added, o.JournalLen()
+}
+
+// ReadJournal invokes fn for every puzzle accepted at or after mark and
+// returns the new mark — the journal-export primitive network transports
+// use to encode a sync delta without touching corpus internals. Like
+// MergeJournal it falls back to a full replay (current contents, sorted
+// signature order) when mark falls outside the live journal: below the
+// compaction horizon, or — a cursor minted by a previous incarnation of
+// this corpus, such as a hub restarted with lost state — beyond the end.
+// Remote cursors reach this unvalidated, so out-of-range must degrade,
+// never panic.
+func (c *Corpus) ReadJournal(mark int, fn func(Puzzle)) (newMark int) {
+	if mark < c.journalBase || mark > c.JournalLen() {
+		for _, sig := range c.Signatures() {
+			for _, p := range c.bySig[sig] {
+				fn(p)
+			}
+		}
+		return c.JournalLen()
+	}
+	for _, p := range c.journal[mark-c.journalBase:] {
+		fn(p)
+	}
+	return c.JournalLen()
+}
+
+// Absorb stores one puzzle received from a sync peer: unseen content fills
+// its signature's spare capacity and is journaled for this corpus's own
+// peers, duplicates and overflow are dropped. Never evicts (see MergeFrom
+// for why evicting merges churn). Returns true when the puzzle was new.
+func (c *Corpus) Absorb(p Puzzle) bool { return c.addNoEvict(p) }
+
+// RegisterPeer declares a sync consumer of this corpus's journal, starting
+// at absolute cursor (0 for a fresh peer, a saved mark for a resuming one;
+// clamped into the journal's valid range). The returned id is used with
+// AdvancePeer/DropPeer. CompactJournal only drops entries every registered
+// peer's cursor has passed, so a registered peer's incremental reads are
+// never silently invalidated.
+func (c *Corpus) RegisterPeer(cursor int) int {
+	if cursor < c.journalBase {
+		cursor = c.journalBase
+	}
+	if max := c.JournalLen(); cursor > max {
+		cursor = max
+	}
+	c.peerCursors = append(c.peerCursors, cursor)
+	return len(c.peerCursors) - 1
+}
+
+// AdvancePeer records that peer id has consumed the journal up to absolute
+// position cursor. Cursors never move backwards.
+func (c *Corpus) AdvancePeer(id, cursor int) {
+	if id < 0 || id >= len(c.peerCursors) || c.peerCursors[id] < 0 {
+		return
+	}
+	if cursor > c.peerCursors[id] {
+		c.peerCursors[id] = cursor
+	}
+}
+
+// DropPeer unregisters a sync peer (a disconnected network leaf), so a dead
+// consumer no longer pins the journal. If the peer later resumes with its
+// old mark, RegisterPeer + the MergeJournal fallback give it a full replay
+// when its tail has been compacted away.
+func (c *Corpus) DropPeer(id int) {
+	if id >= 0 && id < len(c.peerCursors) {
+		c.peerCursors[id] = -1
+	}
+}
+
+// CompactJournal drops the journal prefix that every registered peer has
+// consumed and returns how many entries were dropped. With no registered
+// peers it is a no-op: nothing is known about consumers, so nothing is
+// provably dead. Closes the O(accepted) journal-memory growth on multi-day
+// campaigns — steady-state journal size is the slowest peer's lag.
+func (c *Corpus) CompactJournal() int {
+	min := -1
+	for _, cur := range c.peerCursors {
+		if cur < 0 {
+			continue // dropped slot
+		}
+		if min < 0 || cur < min {
+			min = cur
+		}
+	}
+	drop := min - c.journalBase
+	if min < 0 || drop <= 0 {
+		return 0
+	}
+	if drop > len(c.journal) {
+		drop = len(c.journal)
+	}
+	// Shift in place: keeps the backing array for reuse by future appends
+	// and lets the dropped entries' tails be overwritten.
+	n := copy(c.journal, c.journal[drop:])
+	tail := c.journal[n:]
+	for i := range tail {
+		tail[i] = Puzzle{} // release puzzle data held only by the prefix
+	}
+	c.journal = c.journal[:n]
+	c.journalBase += drop
+	return drop
 }
 
 // Len returns the number of stored puzzles.

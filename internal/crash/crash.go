@@ -18,10 +18,10 @@ import (
 // Record is one unique fault: its identity, an example triggering packet,
 // and campaign statistics.
 type Record struct {
-	Kind      mem.FaultKind
-	Site      string
-	Example   []byte // first packet observed to trigger the fault
-	Count     int    // number of triggering executions
+	Kind    mem.FaultKind
+	Site    string
+	Example []byte // first packet observed to trigger the fault
+	Count   int    // number of triggering executions
 	// FirstExec is the execution index of the first trigger, counted by
 	// the engine that found it. In a bank merged from parallel workers it
 	// is the smallest *per-worker* index — worker-local clocks are not
@@ -36,10 +36,15 @@ func Key(f *mem.Fault) string {
 	return string(f.Kind) + "@" + f.Site
 }
 
-// recordKey is Key for an already-stored record, used when merging banks.
-func recordKey(r *Record) string {
+// RecordKey is Key for an already-materialized record — the one identity
+// used everywhere a record is deduplicated: bank merges, and the network
+// transport's sent-record suppression.
+func RecordKey(r *Record) string {
 	return string(r.Kind) + "@" + r.Site
 }
+
+// recordKey is the package-internal spelling of RecordKey.
+func recordKey(r *Record) string { return RecordKey(r) }
 
 // Bank accumulates unique crash records across a campaign. All methods are
 // safe for concurrent use: parallel campaign workers report into their own
@@ -146,6 +151,33 @@ func (b *Bank) MergeFrom(o *Bank) int {
 		added++
 	}
 	return added
+}
+
+// Absorb folds one record received from a sync peer into the bank,
+// returning true when its fault identity was new. Unlike MergeFrom it is
+// idempotent: re-absorbing a record a reconnecting peer re-sends never
+// inflates counts — Count converges to the maximum reported, and the
+// example packet and path signature follow the earliest FirstExec. The
+// record is copied, so the caller may reuse its buffers.
+func (b *Bank) Absorb(r *Record) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := recordKey(r)
+	if have, ok := b.byKey[k]; ok {
+		if r.Count > have.Count {
+			have.Count = r.Count
+		}
+		if r.FirstExec < have.FirstExec {
+			have.FirstExec = r.FirstExec
+			have.Example = append([]byte(nil), r.Example...)
+			have.PathSig = r.PathSig
+		}
+		return false
+	}
+	cp := *r
+	cp.Example = append([]byte(nil), r.Example...)
+	b.byKey[k] = &cp
+	return true
 }
 
 // CountByKind tallies unique faults per kind — the "Vulnerability Type /

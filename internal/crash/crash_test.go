@@ -134,3 +134,44 @@ func TestConcurrentReportAndSnapshot(t *testing.T) {
 		t.Fatalf("unique = %d, want 1", b.Unique())
 	}
 }
+
+// TestAbsorbIsIdempotent covers the network-merge path: a reconnecting leaf
+// re-sends its records and nothing may double-count.
+func TestAbsorbIsIdempotent(t *testing.T) {
+	b := NewBank()
+	r := &Record{Kind: mem.SEGV, Site: "modbus.readBits", Example: []byte{9}, Count: 3, FirstExec: 50, PathSig: 7}
+	if !b.Absorb(r) {
+		t.Fatal("first absorb should be new")
+	}
+	if b.Absorb(r) {
+		t.Fatal("re-absorbing the same record should not be new")
+	}
+	got := b.Records()[0]
+	if got.Count != 3 || got.FirstExec != 50 {
+		t.Fatalf("record after re-absorb = %+v", got)
+	}
+	// A later snapshot from the same peer carries a higher count and an
+	// earlier first trigger; both converge, neither accumulates.
+	b.Absorb(&Record{Kind: mem.SEGV, Site: "modbus.readBits", Example: []byte{4}, Count: 5, FirstExec: 20, PathSig: 9})
+	b.Absorb(&Record{Kind: mem.SEGV, Site: "modbus.readBits", Example: []byte{4}, Count: 5, FirstExec: 20, PathSig: 9})
+	got = b.Records()[0]
+	if got.Count != 5 || got.FirstExec != 20 || got.Example[0] != 4 || got.PathSig != 9 {
+		t.Fatalf("converged record = %+v", got)
+	}
+	if b.Unique() != 1 {
+		t.Fatalf("unique = %d", b.Unique())
+	}
+}
+
+// TestAbsorbCopiesRecord: the bank must detach from the caller's buffers.
+func TestAbsorbCopiesRecord(t *testing.T) {
+	b := NewBank()
+	ex := []byte{1, 2, 3}
+	r := &Record{Kind: mem.SEGV, Site: "s", Example: ex, Count: 1, FirstExec: 1}
+	b.Absorb(r)
+	ex[0] = 99
+	r.Count = 42
+	if got := b.Records()[0]; got.Example[0] != 1 || got.Count != 1 {
+		t.Fatalf("bank aliased the caller's record: %+v", got)
+	}
+}

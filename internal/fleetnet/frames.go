@@ -1,0 +1,207 @@
+package fleetnet
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/crash"
+	"repro/internal/mem"
+)
+
+// This file defines the typed view of each frame payload and its
+// encode/decode pair. Decoded blobs alias the frame buffer (one allocation
+// per frame); everything downstream either copies on store (crash bank) or
+// treats puzzle data as immutable (corpus), matching in-process semantics.
+
+// helloFrame opens a session (leaf → hub).
+type helloFrame struct {
+	version uint64
+	nodeID  string // stable per leaf process; keys the hub's per-leaf stats
+	target  string // protocol target name, must match the hub's
+	digest  uint64 // model-set digest, must match the hub's
+	// resumeCursor is the leaf's saved position in the hub's corpus
+	// journal — how much of the hub's corpus it had consumed before a
+	// disconnect. Zero for a fresh leaf.
+	resumeCursor uint64
+}
+
+func (f *helloFrame) encode(dst []byte) []byte {
+	dst = append(dst, magic...)
+	dst = appendUvarint(dst, f.version)
+	dst = appendString(dst, f.nodeID)
+	dst = appendString(dst, f.target)
+	dst = appendU64(dst, f.digest)
+	return appendUvarint(dst, f.resumeCursor)
+}
+
+func decodeHello(payload []byte) (*helloFrame, error) {
+	r := &wireReader{buf: payload}
+	if len(payload) < len(magic) || string(payload[:len(magic)]) != magic {
+		r.fail("bad magic (not a fleetnet client)")
+		return nil, r.err
+	}
+	r.pos = len(magic)
+	f := &helloFrame{
+		version:      r.uvarint(),
+		nodeID:       r.str(),
+		target:       r.str(),
+		digest:       r.u64(),
+		resumeCursor: r.uvarint(),
+	}
+	return f, r.done()
+}
+
+// helloAckFrame accepts a session (hub → leaf).
+type helloAckFrame struct {
+	version uint64 // negotiated session version
+	digest  uint64 // hub's model digest, echoed for symmetric diagnostics
+	hubID   string
+}
+
+func (f *helloAckFrame) encode(dst []byte) []byte {
+	dst = appendUvarint(dst, f.version)
+	dst = appendU64(dst, f.digest)
+	return appendString(dst, f.hubID)
+}
+
+func decodeHelloAck(payload []byte) (*helloAckFrame, error) {
+	r := &wireReader{buf: payload}
+	f := &helloAckFrame{version: r.uvarint(), digest: r.u64(), hubID: r.str()}
+	return f, r.done()
+}
+
+// appendPuzzles / readPuzzles encode the corpus delta shared by both sync
+// directions.
+func appendPuzzles(dst []byte, ps []corpus.Puzzle) []byte {
+	dst = appendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = appendString(dst, p.Signature)
+		dst = appendString(dst, p.Model)
+		dst = appendBlob(dst, p.Data)
+	}
+	return dst
+}
+
+func readPuzzles(r *wireReader) []corpus.Puzzle {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxFrame/4 { // each puzzle costs ≥ 3 length bytes on the wire
+		r.fail("implausible puzzle count %d", n)
+		return nil
+	}
+	ps := make([]corpus.Puzzle, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		ps = append(ps, corpus.Puzzle{
+			Signature: r.str(),
+			Model:     r.str(),
+			Data:      r.blob(),
+		})
+	}
+	return ps
+}
+
+// appendCrashes / readCrashes encode the crash-record delta shared by both
+// sync directions.
+func appendCrashes(dst []byte, rs []*crash.Record) []byte {
+	dst = appendUvarint(dst, uint64(len(rs)))
+	for _, rec := range rs {
+		dst = appendString(dst, string(rec.Kind))
+		dst = appendString(dst, rec.Site)
+		dst = appendBlob(dst, rec.Example)
+		dst = appendUvarint(dst, uint64(rec.Count))
+		dst = appendUvarint(dst, uint64(rec.FirstExec))
+		dst = appendU64(dst, rec.PathSig)
+	}
+	return dst
+}
+
+func readCrashes(r *wireReader) []*crash.Record {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxFrame/8 {
+		r.fail("implausible crash count %d", n)
+		return nil
+	}
+	rs := make([]*crash.Record, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		rs = append(rs, &crash.Record{
+			Kind:      mem.FaultKind(r.str()),
+			Site:      r.str(),
+			Example:   r.blob(),
+			Count:     int(r.uvarint()),
+			FirstExec: int(r.uvarint()),
+			PathSig:   r.u64(),
+		})
+	}
+	return rs
+}
+
+// syncFrame is one leaf push (leaf → hub).
+type syncFrame struct {
+	execs, hangs uint64 // leaf totals, absolute (idempotent under resend)
+	hubCursor    uint64 // where the hub should read its journal from
+	virginDelta  []byte
+	puzzles      []corpus.Puzzle
+	crashes      []*crash.Record
+}
+
+func (f *syncFrame) encode(dst []byte) []byte {
+	dst = appendUvarint(dst, f.execs)
+	dst = appendUvarint(dst, f.hangs)
+	dst = appendUvarint(dst, f.hubCursor)
+	dst = appendBlob(dst, f.virginDelta)
+	dst = appendPuzzles(dst, f.puzzles)
+	return appendCrashes(dst, f.crashes)
+}
+
+func decodeSync(payload []byte) (*syncFrame, error) {
+	r := &wireReader{buf: payload}
+	f := &syncFrame{
+		execs:       r.uvarint(),
+		hangs:       r.uvarint(),
+		hubCursor:   r.uvarint(),
+		virginDelta: r.blob(),
+		puzzles:     readPuzzles(r),
+		crashes:     readCrashes(r),
+	}
+	return f, r.done()
+}
+
+// syncAckFrame is the hub's reply to one sync.
+type syncAckFrame struct {
+	virginDelta []byte
+	puzzles     []corpus.Puzzle
+	crashes     []*crash.Record
+	newCursor   uint64 // the leaf's next hubCursor
+	// Fleet-wide figures for leaf-side progress display: total remote
+	// executions the hub has heard of (its own workers included when it
+	// runs a fleet), distinct edges in the hub union map, and the number
+	// of currently connected leaves.
+	fleetExecs, fleetEdges, leaves uint64
+}
+
+func (f *syncAckFrame) encode(dst []byte) []byte {
+	dst = appendBlob(dst, f.virginDelta)
+	dst = appendPuzzles(dst, f.puzzles)
+	dst = appendCrashes(dst, f.crashes)
+	dst = appendUvarint(dst, f.newCursor)
+	dst = appendUvarint(dst, f.fleetExecs)
+	dst = appendUvarint(dst, f.fleetEdges)
+	return appendUvarint(dst, f.leaves)
+}
+
+func decodeSyncAck(payload []byte) (*syncAckFrame, error) {
+	r := &wireReader{buf: payload}
+	f := &syncAckFrame{
+		virginDelta: r.blob(),
+		puzzles:     readPuzzles(r),
+		crashes:     readCrashes(r),
+		newCursor:   r.uvarint(),
+		fleetExecs:  r.uvarint(),
+		fleetEdges:  r.uvarint(),
+		leaves:      r.uvarint(),
+	}
+	return f, r.done()
+}

@@ -1,0 +1,434 @@
+package fleetnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/crash"
+	"repro/internal/datamodel"
+)
+
+// ModelDigest fingerprints a target's model set for the handshake: hub and
+// leaf must be fuzzing the same target with structurally identical data
+// models, or their rule signatures would disagree and donated puzzles
+// would be garbage. The digest is an FNV-1a walk over the target name and
+// every chunk's name, kind, and construction-rule signature in tree order.
+func ModelDigest(target string, models []*datamodel.Model) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff // field separator
+		h *= prime
+	}
+	var walk func(c *datamodel.Chunk)
+	walk = func(c *datamodel.Chunk) {
+		mix(c.Name)
+		mix(fmt.Sprintf("%d", c.Kind))
+		mix(datamodel.RuleSignature(c))
+		for _, ch := range c.Children {
+			walk(ch)
+		}
+	}
+	mix(target)
+	for _, m := range models {
+		mix(m.Name)
+		for _, c := range m.Fields {
+			walk(c)
+		}
+	}
+	return h
+}
+
+// HubConfig parameterizes a Hub.
+type HubConfig struct {
+	// State is the campaign state the hub serves — typically a running
+	// Fleet's State(), so the hub's own workers and its remote leaves
+	// converge on one campaign; a standalone aggregator passes
+	// core.NewSyncState.
+	State *core.SyncState
+	// Target and Models identify the campaign for the handshake.
+	Target string
+	Models []*datamodel.Model
+	// NodeID names this hub in handshakes; defaults to "hub".
+	NodeID string
+	// LocalExecs, when non-nil, reports the hub's own executions so leaf
+	// progress displays can show a fleet-wide total.
+	LocalExecs func() int
+	// Timeout bounds each frame read/write (0 = 30s). A leaf that stalls
+	// longer is dropped; it reconnects with its resume cursor.
+	Timeout time.Duration
+	// Logf receives connection lifecycle messages (nil = no logging).
+	Logf func(format string, args ...any)
+}
+
+// Hub serves one campaign's shared state to remote leaves. Every accepted
+// connection merges through the same core.SyncPeer path local workers use,
+// so a hub that also runs a local Fleet needs no extra coordination — the
+// shared state's mutex serializes workers and leaves alike.
+type Hub struct {
+	cfg    HubConfig
+	digest uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	leaves map[string]*remoteLeaf
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// remoteLeaf is the hub's per-leaf accounting, keyed by the leaf's
+// self-chosen node id. Totals are absolute figures from the leaf's latest
+// sync, so reconnects and resends never double-count.
+type remoteLeaf struct {
+	execs, hangs uint64
+	connected    bool
+}
+
+// NewHub validates the configuration and returns a hub ready to Serve.
+func NewHub(cfg HubConfig) (*Hub, error) {
+	if cfg.State == nil {
+		return nil, fmt.Errorf("fleetnet: HubConfig.State is required")
+	}
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("fleetnet: HubConfig.Target is required")
+	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = "hub"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Hub{
+		cfg:    cfg,
+		digest: ModelDigest(cfg.Target, cfg.Models),
+		conns:  make(map[net.Conn]struct{}),
+		leaves: make(map[string]*remoteLeaf),
+	}, nil
+}
+
+// ListenAndServe listens on addr (host:port; ":0" picks a free port) and
+// serves until Close. It returns once the listener is installed; the accept
+// loop runs in the background. Addr reports the bound address.
+func (h *Hub) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("fleetnet: hub is closed")
+	}
+	h.ln = ln
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go h.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listener's address, or "" before ListenAndServe.
+func (h *Hub) Addr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ln == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+// Close stops accepting, disconnects every leaf, and waits for the
+// connection handlers to drain. The shared state keeps everything already
+// merged; a restarted hub on the same state resumes cleanly.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	ln := h.ln
+	for c := range h.conns {
+		c.Close()
+	}
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	h.wg.Wait()
+	return nil
+}
+
+// RemoteStats sums the latest absolute figures reported by every leaf ever
+// seen (disconnected leaves' contributions remain — the work happened) and
+// reports how many leaves are currently connected.
+func (h *Hub) RemoteStats() (execs, hangs, connected int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, l := range h.leaves {
+		execs += int(l.execs)
+		hangs += int(l.hangs)
+		if l.connected {
+			connected++
+		}
+	}
+	return execs, hangs, connected
+}
+
+func (h *Hub) acceptLoop(ln net.Listener) {
+	defer h.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if !closed {
+				h.cfg.Logf("fleetnet hub: accept: %v", err)
+			}
+			return
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		h.conns[conn] = struct{}{}
+		h.mu.Unlock()
+		h.wg.Add(1)
+		go h.handle(conn)
+	}
+}
+
+// connPeer is the hub side of one leaf session: the per-connection sync
+// cursors that make deltas deltas. It implements core.SyncPeer for the
+// window where a decoded sync frame is merged and the reply is built, so a
+// remote leaf takes exactly the merge path a local worker does.
+type connPeer struct {
+	hub    *Hub
+	nodeID string
+	// shadow mirrors the shared coverage the leaf is known to have: what
+	// this hub sent plus what the leaf itself pushed. Reply deltas are
+	// computed against it, so steady-state windows carry only novelty.
+	shadow *coverage.Virgin
+	// corpusPeer registers this connection as a consumer of the shared
+	// journal (pinning compaction no further back than the leaf's
+	// cursor); -1 until the first window.
+	corpusPeer int
+	// sentCrash maps fault keys to the highest Count the leaf is known to
+	// hold; a record is (re-)sent when the hub's count grows past it.
+	sentCrash map[string]int
+
+	req *syncFrame    // current window's decoded push
+	ack *syncAckFrame // reply being built
+}
+
+// Exchange merges one leaf push into the shared state and builds the reply
+// under the same lock — one atomic merge window, exactly like a worker's.
+func (p *connPeer) Exchange(virgin *coverage.Virgin, corp *corpus.Corpus, crashes *crash.Bank) error {
+	req, ack := p.req, p.ack
+	if p.corpusPeer < 0 {
+		p.corpusPeer = corp.RegisterPeer(int(req.hubCursor))
+	}
+	// Build the reply's corpus and coverage deltas BEFORE absorbing the
+	// push: the journal tail then contains only other nodes' puzzles, and
+	// the bitmap delta only other nodes' words. The push is folded into
+	// the shadow afterwards, so nothing the leaf already knows is ever
+	// echoed back.
+	ack.virginDelta = coverage.AppendVirginDelta(nil, virgin, p.shadow)
+	corp.ReadJournal(int(req.hubCursor), func(pz corpus.Puzzle) {
+		ack.puzzles = append(ack.puzzles, pz)
+	})
+	if _, err := virgin.ApplyDelta(req.virginDelta); err != nil {
+		return err
+	}
+	if _, err := p.shadow.ApplyDelta(req.virginDelta); err != nil {
+		return err
+	}
+	for _, pz := range req.puzzles {
+		corp.Absorb(pz)
+	}
+	// The reply tail above ended at the pre-push journal length, and the
+	// leaf's accepted puzzles landed after it; within this locked window
+	// nothing else could append, so a cursor at the current length skips
+	// exactly the leaf's own material next window.
+	ack.newCursor = uint64(corp.JournalLen())
+	corp.AdvancePeer(p.corpusPeer, int(ack.newCursor))
+	corp.CompactJournal()
+	for _, r := range req.crashes {
+		crashes.Absorb(r)
+		if key := crash.RecordKey(r); r.Count > p.sentCrash[key] {
+			p.sentCrash[key] = r.Count // the leaf already has this much
+		}
+	}
+	for _, r := range crashes.Records() {
+		key := crash.RecordKey(r)
+		if sent, ok := p.sentCrash[key]; !ok || r.Count > sent {
+			p.sentCrash[key] = r.Count
+			ack.crashes = append(ack.crashes, r)
+		}
+	}
+	ack.fleetEdges = uint64(virgin.Edges())
+	return nil
+}
+
+// handle runs one leaf session: handshake, then sync windows until the
+// connection drops or the hub closes.
+func (h *Hub) handle(conn net.Conn) {
+	defer h.wg.Done()
+	peer := &connPeer{hub: h, shadow: coverage.NewVirgin(), corpusPeer: -1, sentCrash: make(map[string]int)}
+	defer func() {
+		h.mu.Lock()
+		delete(h.conns, conn)
+		if l, ok := h.leaves[peer.nodeID]; ok {
+			l.connected = false
+		}
+		h.mu.Unlock()
+		conn.Close()
+		// A gone leaf must not pin journal compaction; if it resumes, the
+		// MergeJournal fallback replays the full corpus for it.
+		if peer.corpusPeer >= 0 {
+			h.cfg.State.Exchange(core.ExchangeFunc(func(_ *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
+				corp.DropPeer(peer.corpusPeer)
+				return nil
+			}))
+		}
+	}()
+
+	if err := h.handshake(conn, peer); err != nil {
+		h.cfg.Logf("fleetnet hub: handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	h.cfg.Logf("fleetnet hub: leaf %q connected from %s", peer.nodeID, conn.RemoteAddr())
+
+	for {
+		conn.SetDeadline(time.Now().Add(h.cfg.Timeout))
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			h.cfg.Logf("fleetnet hub: leaf %q: %v", peer.nodeID, err)
+			return
+		}
+		switch typ {
+		case frameSync:
+		case frameError:
+			r := &wireReader{buf: payload}
+			h.cfg.Logf("fleetnet hub: leaf %q sent error: %s", peer.nodeID, r.str())
+			return
+		default:
+			sendError(conn, "unexpected frame type %d mid-session", typ)
+			return
+		}
+		req, err := decodeSync(payload)
+		if err != nil {
+			sendError(conn, "%v", err)
+			return
+		}
+		peer.req = req
+		peer.ack = &syncAckFrame{}
+		if err := h.cfg.State.Exchange(peer); err != nil {
+			h.cfg.Logf("fleetnet hub: leaf %q push rejected: %v", peer.nodeID, err)
+			sendError(conn, "%v", err)
+			return
+		}
+		h.noteLeaf(peer.nodeID, req)
+		peer.ack.fleetExecs = uint64(h.fleetExecs())
+		h.mu.Lock()
+		leaves := 0
+		for _, l := range h.leaves {
+			if l.connected {
+				leaves++
+			}
+		}
+		h.mu.Unlock()
+		peer.ack.leaves = uint64(leaves)
+		if err := writeFrame(conn, frameSyncAck, peer.ack.encode(nil)); err != nil {
+			h.cfg.Logf("fleetnet hub: leaf %q: %v", peer.nodeID, err)
+			return
+		}
+	}
+}
+
+// handshake validates a hello frame and replies. Only structural protocol
+// errors are tolerated silently; mismatched target/models are answered with
+// an error frame so the operator sees the reason leaf-side.
+func (h *Hub) handshake(conn net.Conn, peer *connPeer) error {
+	conn.SetDeadline(time.Now().Add(h.cfg.Timeout))
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		sendError(conn, "expected hello, got frame type %d", typ)
+		return fmt.Errorf("expected hello, got type %d", typ)
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		sendError(conn, "%v", err)
+		return err
+	}
+	version, err := negotiate(hello.version)
+	if err != nil {
+		sendError(conn, "%v", err)
+		return err
+	}
+	if hello.target != h.cfg.Target {
+		err := fmt.Errorf("leaf fuzzes target %q, hub fuzzes %q", hello.target, h.cfg.Target)
+		sendError(conn, "%v", err)
+		return err
+	}
+	if hello.digest != h.digest {
+		err := fmt.Errorf("model digest mismatch (leaf %016x, hub %016x): data models differ", hello.digest, h.digest)
+		sendError(conn, "%v", err)
+		return err
+	}
+	peer.nodeID = hello.nodeID
+	h.mu.Lock()
+	l, ok := h.leaves[peer.nodeID]
+	if !ok {
+		l = &remoteLeaf{}
+		h.leaves[peer.nodeID] = l
+	}
+	l.connected = true
+	h.mu.Unlock()
+	ack := &helloAckFrame{version: version, digest: h.digest, hubID: h.cfg.NodeID}
+	return writeFrame(conn, frameHelloAck, ack.encode(nil))
+}
+
+// noteLeaf records a leaf's absolute progress figures.
+func (h *Hub) noteLeaf(nodeID string, req *syncFrame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l := h.leaves[nodeID]
+	if l == nil {
+		l = &remoteLeaf{connected: true}
+		h.leaves[nodeID] = l
+	}
+	if req.execs > l.execs {
+		l.execs = req.execs
+	}
+	if req.hangs > l.hangs {
+		l.hangs = req.hangs
+	}
+}
+
+// fleetExecs is the hub's best knowledge of total fleet executions.
+func (h *Hub) fleetExecs() int {
+	execs, _, _ := h.RemoteStats()
+	if h.cfg.LocalExecs != nil {
+		execs += h.cfg.LocalExecs()
+	}
+	return execs
+}

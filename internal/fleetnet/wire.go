@@ -1,0 +1,222 @@
+// Package fleetnet extends the fleet's batched merge protocol across hosts:
+// a hub node serves one campaign's shared state (core.SyncState) over TCP,
+// and leaf nodes running local fleets exchange deltas with it — virgin
+// coverage bitmaps as dirty-word deltas, corpus puzzles as journal tails
+// with resumable cursors, crash records as an idempotent dedup stream. The
+// merge semantics are exactly the in-process Fleet's (the hub and the
+// leaves speak to their local state through the same core.SyncPeer path
+// worker engines use); this package only adds framing, transport, and
+// reconnect handling.
+//
+// # Wire protocol
+//
+// Every frame is length-prefixed: a 4-byte big-endian payload length, one
+// type byte, then the payload. Integers inside payloads are unsigned
+// varints unless noted; byte strings are a uvarint length followed by the
+// bytes. The session is strictly request/response, leaf-driven:
+//
+//	leaf → hub   hello      magic, version, node id, target, model digest,
+//	                        resume cursor into the hub journal
+//	hub → leaf   helloAck   negotiated version, hub model digest, hub id
+//	leaf → hub   sync       leaf stats, virgin delta, puzzle delta,
+//	                        crash records, hub-journal cursor
+//	hub → leaf   syncAck    virgin delta, puzzle delta (from the leaf's
+//	                        cursor), crash records, new cursor, fleet stats
+//	either side  error      human-readable reason; sender closes after
+//
+// # Version negotiation
+//
+// A leaf sends the highest protocol version it speaks; the hub answers
+// with min(its own highest, the leaf's). Both sides then require the
+// negotiated version to be at least their own minimum supported version —
+// otherwise they send an error frame and close. Within this repository
+// MinProtocolVersion == ProtocolVersion == 1; the rule exists so a future
+// version bump can interoperate with older peers.
+//
+// # Determinism
+//
+// A networked campaign is not bit-for-bit reproducible — sync timing
+// depends on the network — but it preserves the same convergence guarantee
+// as the in-process fleet: all exchanged state is monotonic (bitmap union,
+// never-evicting journal merges, idempotent crash absorption), so any
+// interleaving, duplication, or replay of sync windows yields the same
+// final merged state for the same executed work.
+package fleetnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol version bounds spoken by this build. See the package comment
+// for the negotiation rule.
+const (
+	// ProtocolVersion is the highest protocol version this build speaks.
+	ProtocolVersion = 1
+	// MinProtocolVersion is the lowest peer version this build accepts.
+	MinProtocolVersion = 1
+)
+
+// magic opens every hello frame; it rejects accidental connections from
+// non-fleetnet clients before any allocation-heavy decoding.
+const magic = "PSFN"
+
+// maxFrame bounds a single frame's payload. The largest legitimate frame is
+// a full-corpus replay after a reconnect; 64 MiB is far above any corpus
+// this repository produces while still rejecting nonsense lengths from a
+// corrupt stream.
+const maxFrame = 64 << 20
+
+// Frame types.
+const (
+	frameHello    = byte(1)
+	frameHelloAck = byte(2)
+	frameSync     = byte(3)
+	frameSyncAck  = byte(4)
+	frameError    = byte(5)
+)
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("fleetnet: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// appendUvarint appends v as an unsigned varint.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+// appendBlob appends a length-prefixed byte string.
+func appendBlob(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendU64 appends a fixed-width little-endian 64-bit value.
+func appendU64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+// wireReader decodes a frame payload with sticky error handling: after the
+// first malformed field every subsequent read returns zero values and the
+// error survives until checked by done.
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("fleetnet: "+format, args...)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) blob() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.buf)-r.pos) < n {
+		r.fail("blob of %d bytes overruns frame at offset %d", n, r.pos)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+func (r *wireReader) str() string { return string(r.blob()) }
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.pos < 8 {
+		r.fail("truncated u64 at offset %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos : r.pos+8])
+	r.pos += 8
+	return v
+}
+
+// done returns the sticky decode error, or an error if the payload has
+// undecoded trailing bytes.
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("fleetnet: %d trailing bytes in frame", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+// sendError best-effort ships an error frame before the sender closes the
+// connection, so the far side logs a reason instead of a bare EOF.
+func sendError(w io.Writer, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	writeFrame(w, frameError, appendString(nil, msg)) //nolint:errcheck — already tearing down
+}
+
+// negotiate applies the version rule from the package comment to a peer's
+// advertised version and returns the effective session version.
+func negotiate(peer uint64) (uint64, error) {
+	eff := peer
+	if eff > ProtocolVersion {
+		eff = ProtocolVersion
+	}
+	if eff < MinProtocolVersion {
+		return 0, fmt.Errorf("fleetnet: peer speaks protocol %d, this build needs %d..%d",
+			peer, MinProtocolVersion, ProtocolVersion)
+	}
+	return eff, nil
+}

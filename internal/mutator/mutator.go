@@ -40,8 +40,13 @@ var interestingU64 = []uint64{
 // deliberately, because illegal opcodes exercise error paths.
 type NumberRandom struct{}
 
-func (NumberRandom) Name() string                    { return "NumberRandom" }
+// Name implements Mutator.
+func (NumberRandom) Name() string { return "NumberRandom" }
+
+// Applies accepts Number chunks.
 func (NumberRandom) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
+
+// Mutate implements Mutator.
 func (NumberRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
 	var v uint64
 	if len(c.Legal) > 0 && !r.Chance(8) {
@@ -56,8 +61,13 @@ func (NumberRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
 // the chunk's width.
 type NumberEdgeCase struct{}
 
-func (NumberEdgeCase) Name() string                    { return "NumberEdgeCase" }
+// Name implements Mutator.
+func (NumberEdgeCase) Name() string { return "NumberEdgeCase" }
+
+// Applies accepts Number chunks.
 func (NumberEdgeCase) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
+
+// Mutate implements Mutator.
 func (NumberEdgeCase) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
 	return encode(rng.Pick(r, interestingU64)&mask(c.Width), c)
 }
@@ -66,8 +76,13 @@ func (NumberEdgeCase) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
 // signed delta — Peach's "mutation on default value".
 type NumberDeltaFromDefault struct{}
 
-func (NumberDeltaFromDefault) Name() string                    { return "NumberDeltaFromDefault" }
+// Name implements Mutator.
+func (NumberDeltaFromDefault) Name() string { return "NumberDeltaFromDefault" }
+
+// Applies accepts Number chunks.
 func (NumberDeltaFromDefault) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
+
+// Mutate implements Mutator.
 func (NumberDeltaFromDefault) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
 	base := c.Default
 	if prev != nil {
@@ -88,10 +103,15 @@ func (NumberDeltaFromDefault) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte
 // the declared range for variable chunks.
 type BlobRandom struct{}
 
+// Name implements Mutator.
 func (BlobRandom) Name() string { return "BlobRandom" }
+
+// Applies accepts Blob and String chunks.
 func (BlobRandom) Applies(c *datamodel.Chunk) bool {
 	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
 }
+
+// Mutate implements Mutator.
 func (BlobRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
 	n := sizeFor(r, c)
 	out := make([]byte, n)
@@ -108,10 +128,15 @@ func (BlobRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
 // BlobBitFlip flips 1–8 bits of the previous value (or the default).
 type BlobBitFlip struct{}
 
+// Name implements Mutator.
 func (BlobBitFlip) Name() string { return "BlobBitFlip" }
+
+// Applies accepts Blob and String chunks.
 func (BlobBitFlip) Applies(c *datamodel.Chunk) bool {
 	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
 }
+
+// Mutate implements Mutator.
 func (BlobBitFlip) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
 	base := prev
 	if len(base) == 0 {
@@ -134,10 +159,15 @@ func (BlobBitFlip) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
 // bugs (Table I's overflow) get reached.
 type BlobExpand struct{}
 
+// Name implements Mutator.
 func (BlobExpand) Name() string { return "BlobExpand" }
+
+// Applies accepts Blob and String chunks.
 func (BlobExpand) Applies(c *datamodel.Chunk) bool {
 	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
 }
+
+// Mutate implements Mutator.
 func (BlobExpand) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
 	base := prev
 	if len(base) == 0 {
@@ -168,10 +198,15 @@ func (BlobExpand) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
 // missing").
 type BlobTruncate struct{}
 
+// Name implements Mutator.
 func (BlobTruncate) Name() string { return "BlobTruncate" }
+
+// Applies accepts Blob and String chunks.
 func (BlobTruncate) Applies(c *datamodel.Chunk) bool {
 	return c.Kind == datamodel.Blob || c.Kind == datamodel.String
 }
+
+// Mutate implements Mutator.
 func (BlobTruncate) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
 	base := prev
 	if len(base) == 0 {

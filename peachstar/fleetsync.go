@@ -1,0 +1,118 @@
+package peachstar
+
+// This file is the public face of the distributed fleet transport
+// (internal/fleetnet): a campaign can serve its shared state to remote
+// leaves (ServeSync) or attach itself as a leaf of a remote hub
+// (DialSync). See ARCHITECTURE.md for the wire protocol and the
+// convergence guarantees, and the README "Distributed campaigns" section
+// for operational semantics.
+
+import (
+	"time"
+
+	"repro/internal/fleetnet"
+)
+
+// SyncServer is a running fleet-sync hub bound to one campaign: remote
+// leaves that connect merge their coverage, puzzles, and crashes into the
+// campaign's shared state, and receive everything the campaign (and its
+// other leaves) know in return.
+type SyncServer struct {
+	hub *fleetnet.Hub
+}
+
+// ServeSync starts serving this campaign's shared state to remote leaves
+// on addr (host:port; ":0" picks a free port — see Addr). The hub accepts
+// in the background; the campaign may keep fuzzing concurrently, remote
+// and local discoveries converge through the same merge path. Close the
+// returned server to stop accepting.
+func (c *Campaign) ServeSync(addr string) (*SyncServer, error) {
+	hub, err := fleetnet.NewHub(fleetnet.HubConfig{
+		State:  c.fleet.State(),
+		Target: c.cfg.Target.(Target).Name(),
+		Models: c.cfg.Models,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := hub.ListenAndServe(addr); err != nil {
+		return nil, err
+	}
+	return &SyncServer{hub: hub}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *SyncServer) Addr() string { return s.hub.Addr() }
+
+// RemoteStats reports the hub's view of its leaves: total remote
+// executions and hangs (absolute figures from each leaf's latest sync,
+// surviving disconnects), and how many leaves are connected right now.
+func (s *SyncServer) RemoteStats() (execs, hangs, connected int) {
+	return s.hub.RemoteStats()
+}
+
+// Close stops accepting and disconnects all leaves. State already merged
+// stays in the campaign; leaves keep fuzzing locally and will resume if a
+// new server is started on the campaign (or any campaign sharing its
+// state) at the same address.
+func (s *SyncServer) Close() error { return s.hub.Close() }
+
+// SyncLeaf attaches one campaign to a remote hub as a fleet leaf.
+type SyncLeaf struct {
+	c    *Campaign
+	leaf *fleetnet.Leaf
+}
+
+// DialSync prepares this campaign to sync with the hub at addr. No
+// connection is made until the first Sync (or RunSynced window), and a
+// lost connection only pauses exchange — the campaign keeps fuzzing and
+// the next sync reconnects and resumes.
+//
+// Give each leaf of a fleet a distinct Options.SeedStream so no two hosts
+// fuzz the same RNG streams of the shared campaign seed.
+func (c *Campaign) DialSync(addr string) (*SyncLeaf, error) {
+	leaf, err := fleetnet.NewLeaf(fleetnet.LeafConfig{
+		Fleet:  c.fleet,
+		Addr:   addr,
+		Target: c.cfg.Target.(Target).Name(),
+		Models: c.cfg.Models,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SyncLeaf{c: c, leaf: leaf}, nil
+}
+
+// Sync runs one merge window with the hub: push local discoveries, pull
+// the fleet's. Safe to call between Run segments; returns the transport
+// error, if any, after resetting the session for the next attempt.
+func (l *SyncLeaf) Sync() error { return l.leaf.Sync() }
+
+// RunSynced fuzzes until the campaign has spent execBudget total
+// executions, syncing with the hub every syncEvery executions (0 picks a
+// default of four merge windows). Sync failures are tolerated: fuzzing
+// continues and the next window retries. The final sync's error, if any,
+// is returned; local results are intact regardless.
+func (l *SyncLeaf) RunSynced(execBudget, syncEvery int) error {
+	return l.leaf.Run(execBudget, syncEvery)
+}
+
+// RunSyncedUntil is RunSynced with a wall-clock deadline instead of an
+// exec budget, keeping the same syncEvery execution cadence; it stops
+// within one merge-window slice of the deadline.
+func (l *SyncLeaf) RunSyncedUntil(deadline time.Time, syncEvery int) error {
+	return l.leaf.RunUntil(deadline, syncEvery)
+}
+
+// FleetStats returns the fleet-wide figures from the latest hub reply —
+// total executions the hub knows of, distinct edges in the hub's union
+// map, connected leaves — and whether a reply has arrived yet.
+func (l *SyncLeaf) FleetStats() (execs, edges, leaves int, ok bool) {
+	return l.leaf.FleetStats()
+}
+
+// Connected reports whether a hub session is currently established.
+func (l *SyncLeaf) Connected() bool { return l.leaf.Connected() }
+
+// Close drops the hub session. The campaign and its results are untouched.
+func (l *SyncLeaf) Close() error { return l.leaf.Close() }

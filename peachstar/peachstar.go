@@ -136,6 +136,13 @@ type Options struct {
 	// Name(), which covers the six built-in projects; a custom
 	// unregistered target must supply a factory to run with Workers > 1.
 	TargetFactory func() Target
+	// SeedStream offsets the RNG stream indices this campaign's workers
+	// draw from the campaign seed: worker i fuzzes stream SeedStream+i.
+	// Leave zero for a standalone campaign. In a distributed fleet
+	// (DialSync), give each leaf a disjoint range — e.g. leaf k with W
+	// workers uses SeedStream k*W — so no two hosts repeat each other's
+	// sequences while the whole fleet remains one reproducible campaign.
+	SeedStream int
 }
 
 // Campaign is one running fuzzing campaign.
@@ -143,6 +150,7 @@ type Campaign struct {
 	cfg         core.Config
 	userFactory func() Target         // Options.TargetFactory, may be nil
 	factory     func() sandbox.Target // resolved lazily; nil until resolved
+	seedStream  int                   // Options.SeedStream
 	fleet       *core.Fleet
 }
 
@@ -164,6 +172,7 @@ func NewCampaign(opts Options) (*Campaign, error) {
 			MaxBatch: opts.MaxBatch,
 		},
 		userFactory: opts.TargetFactory,
+		seedStream:  opts.SeedStream,
 	}
 	if err := c.build(opts.Workers); err != nil {
 		return nil, err
@@ -210,8 +219,9 @@ func (c *Campaign) build(workers int) error {
 		}
 	}
 	fleet, err := core.NewFleet(c.cfg, core.ParallelConfig{
-		Workers:   workers,
-		NewTarget: c.factory,
+		Workers:    workers,
+		NewTarget:  c.factory,
+		SeedStream: c.seedStream,
 	})
 	if err != nil {
 		return err
