@@ -30,9 +30,10 @@ race:
 
 # Documentation gate: vet (which checks doc-comment placement pragmas),
 # a package-doc presence check over every library package, and the
-# fleetnet loopback suite — including the 2-node convergence integration
-# test — under -race (the protocol documented in ARCHITECTURE.md must
-# actually hold).
+# fleetnet loopback suite — including the 2-node hub/leaf convergence
+# test, the 3-node mesh partition/heal convergence test, and the
+# session-lifecycle regression tests — under -race (the protocol and
+# topologies documented in ARCHITECTURE.md must actually hold).
 docs-check:
 	@$(GO) vet ./...
 	@fail=0; \
@@ -76,10 +77,12 @@ bench-hotpath:
 # Fleetnet sync-window cost over TCP loopback: emits the
 # BENCH_fleetnet.json measurement fields (per-window latency/bytes, the
 # empty-window protocol floor, and the full-resync reconnect cost) at both
-# the tight 256-exec window and the default 1024.
+# the tight 256-exec window and the default 1024, plus the 3-node
+# hub-less mesh round cost (-mesh).
 bench-fleetnet:
 	$(GO) run ./cmd/benchfleetnet -window 256
 	$(GO) run ./cmd/benchfleetnet -window 1024
+	$(GO) run ./cmd/benchfleetnet -mesh -window 1024
 
 clean:
 	$(GO) clean -testcache

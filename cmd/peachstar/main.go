@@ -2,7 +2,9 @@
 // either the baseline Peach strategy or the full Peach* strategy, printing
 // progress and any unique crashes found. It can also take part in a
 // distributed fleet: -serve makes this node a sync hub, -connect makes it
-// a leaf of one (see the README's "Distributed campaigns" section).
+// a leaf of one, and -mesh makes it a hub-less mesh node that both accepts
+// peers and uplinks to them (see the README's "Distributed campaigns" and
+// "Mesh campaigns" sections).
 //
 // Usage:
 //
@@ -10,6 +12,9 @@
 //	peachstar -target libmodbus -execs 200000 -workers 4
 //	peachstar -target libmodbus -serve :7712 -execs 0            # hub (aggregator only)
 //	peachstar -target libmodbus -connect host:7712 -seed-stream 1 -execs 100000
+//	peachstar -target libmodbus -mesh :7712 -advertise hostA:7712 -execs 100000            # mesh seed node
+//	peachstar -target libmodbus -mesh :7712 -advertise hostB:7712 -peers hostA:7712 \
+//	          -seed-stream 1 -execs 100000                                                 # joins via hostA
 //	peachstar -list
 package main
 
@@ -36,7 +41,10 @@ func main() {
 		workers    = flag.Int("workers", 1, "parallel worker engines sharing the exec budget")
 		serve      = flag.String("serve", "", "serve fleet sync to remote leaves on this host:port (hub node)")
 		connect    = flag.String("connect", "", "sync with the fleet hub at this host:port (leaf node)")
-		syncEvery  = flag.Int("sync-every", 1024, "leaf executions between hub syncs (with -connect)")
+		mesh       = flag.String("mesh", "", "join a hub-less mesh fleet, accepting peers on this host:port (mesh node)")
+		peers      = flag.String("peers", "", "comma-separated bootstrap peer addresses (with -mesh; one live address is enough)")
+		advertise  = flag.String("advertise", "", "externally dialable address peers should reach this node at (with -mesh; default: the bound -mesh address)")
+		syncEvery  = flag.Int("sync-every", 1024, "executions between fleet syncs (with -connect or -mesh)")
 		seedStream = flag.Int("seed-stream", 0, "RNG stream offset for this node's workers; give each leaf a disjoint range")
 		list       = flag.Bool("list", false, "list available targets and exit")
 	)
@@ -47,7 +55,15 @@ func main() {
 		return
 	}
 	if *serve != "" && *connect != "" {
-		fmt.Fprintln(os.Stderr, "a node cannot both -serve and -connect (relay topologies are unsupported)")
+		fmt.Fprintln(os.Stderr, "a node cannot both -serve and -connect (for relay topologies, use -mesh)")
+		os.Exit(2)
+	}
+	if *mesh != "" && (*serve != "" || *connect != "") {
+		fmt.Fprintln(os.Stderr, "-mesh already accepts and dials peers; it cannot be combined with -serve or -connect")
+		os.Exit(2)
+	}
+	if *mesh == "" && (*peers != "" || *advertise != "") {
+		fmt.Fprintln(os.Stderr, "-peers and -advertise only apply to -mesh nodes")
 		os.Exit(2)
 	}
 
@@ -101,6 +117,28 @@ func main() {
 		fmt.Printf("syncing with fleet hub at %s (every %d execs)\n", *connect, *syncEvery)
 	}
 
+	var mnode *peachstar.MeshNode
+	if *mesh != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		mnode, err = campaign.JoinMesh(peachstar.MeshOptions{
+			Listen:    *mesh,
+			Peers:     peerList,
+			Advertise: *advertise,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer mnode.Close()
+		fmt.Printf("mesh node on %s (%d bootstrap peers, syncing every %d execs)\n",
+			mnode.Addr(), len(peerList), *syncEvery)
+	}
+
 	fmt.Printf("fuzzing %s with %s (seed %d, stream %d, %d workers)\n",
 		*target, strat, *seed, *seedStream, campaign.Workers())
 	start := time.Now()
@@ -121,14 +159,19 @@ func main() {
 			if next.After(deadline) {
 				next = deadline
 			}
-			if leaf != nil {
+			switch {
+			case leaf != nil:
 				if err := leaf.RunSyncedUntil(next, *syncEvery); err != nil {
 					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
 				}
-			} else {
+			case mnode != nil:
+				if err := mnode.RunSyncedUntil(next, *syncEvery); err != nil {
+					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
+				}
+			default:
 				campaign.RunUntil(next)
 			}
-			printProgress(campaign, leaf, hub, start)
+			printProgress(campaign, leaf, mnode, hub, start)
 		}
 	case *execs > 0:
 		per := *execs / *report
@@ -136,20 +179,26 @@ func main() {
 			per = 1
 		}
 		for done := per; done <= *execs; done += per {
-			if leaf != nil {
+			switch {
+			case leaf != nil:
 				if err := leaf.RunSynced(done, *syncEvery); err != nil {
 					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
 				}
-			} else {
+			case mnode != nil:
+				if err := mnode.RunSynced(done, *syncEvery); err != nil {
+					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
+				}
+			default:
 				campaign.Run(done)
 			}
-			printProgress(campaign, leaf, hub, start)
+			printProgress(campaign, leaf, mnode, hub, start)
 		}
 	}
 
-	if hub != nil {
-		// Hub nodes outlive their own budget: keep aggregating leaves
-		// until interrupted, reporting periodically.
+	if hub != nil || mnode != nil {
+		// Hub and mesh nodes outlive their own budget: keep serving (and,
+		// for a mesh node, relaying between peers) until interrupted,
+		// reporting periodically. A -mesh -execs 0 node is a pure relay.
 		fmt.Println("local budget spent; serving fleet sync until interrupted (Ctrl-C)")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -161,7 +210,12 @@ func main() {
 			case <-sig:
 				break serveLoop
 			case <-tick.C:
-				printProgress(campaign, nil, hub, start)
+				if mnode != nil {
+					if err := mnode.Sync(); err != nil {
+						fmt.Fprintf(os.Stderr, "sync: %v (continuing)\n", err)
+					}
+				}
+				printProgress(campaign, nil, mnode, hub, start)
 			}
 		}
 	}
@@ -175,7 +229,7 @@ func main() {
 	}
 }
 
-func printProgress(c *peachstar.Campaign, leaf *peachstar.SyncLeaf, hub *peachstar.SyncServer, start time.Time) {
+func printProgress(c *peachstar.Campaign, leaf *peachstar.SyncLeaf, mnode *peachstar.MeshNode, hub *peachstar.SyncServer, start time.Time) {
 	s := c.Stats()
 	line := fmt.Sprintf("%8.1fs  execs %8d  paths %5d  edges %5d  crashes %3d  corpus %5d",
 		time.Since(start).Seconds(), s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
@@ -183,6 +237,11 @@ func printProgress(c *peachstar.Campaign, leaf *peachstar.SyncLeaf, hub *peachst
 		if fexecs, fedges, nodes, ok := leaf.FleetStats(); ok {
 			line += fmt.Sprintf("  | fleet execs %8d  edges %5d  leaves %2d", fexecs, fedges, nodes)
 		}
+	}
+	if mnode != nil {
+		uplinks, inbound, known := mnode.PeerStats()
+		line += fmt.Sprintf("  | mesh %d up/%d in of %d known, +%d remote execs",
+			uplinks, inbound, known, mnode.RemoteExecs())
 	}
 	if hub != nil {
 		rexecs, _, connected := hub.RemoteStats()

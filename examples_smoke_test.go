@@ -7,7 +7,7 @@ import (
 )
 
 // TestExamplesSmoke keeps every runnable example honest: each must build,
-// and the distributed example — the only one whose correctness is a
+// and the distributed and mesh examples — the ones whose correctness is a
 // cross-process-shaped property rather than just printed output — must run
 // to convergence on loopback.
 func TestExamplesSmoke(t *testing.T) {
@@ -20,6 +20,7 @@ func TestExamplesSmoke(t *testing.T) {
 		"./examples/custompit",
 		"./examples/vulnaudit",
 		"./examples/distributed",
+		"./examples/mesh",
 	} {
 		out, err := exec.Command("go", "build", "-o", "/dev/null", dir).CombinedOutput()
 		if err != nil {
@@ -33,5 +34,13 @@ func TestExamplesSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "fleet converged") {
 		t.Fatalf("distributed example did not converge:\n%s", out)
+	}
+
+	out, err = exec.Command("go", "run", "./examples/mesh", "-execs", "12000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mesh example failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "mesh converged") {
+		t.Fatalf("mesh example did not converge:\n%s", out)
 	}
 }

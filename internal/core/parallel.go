@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
@@ -81,6 +82,11 @@ type workerPeer struct {
 	// both feed journal compaction.
 	selfID   int
 	sharedID int
+	// execsPub is the worker's execution count as of its latest sync
+	// window, published atomically so concurrent observers (a fleetnet
+	// node building acks on handler goroutines) can read fleet progress
+	// without touching the workers' live counters. See Fleet.ExecsApprox.
+	execsPub int64
 }
 
 // Exchange is the local half of the merge protocol (invoked under the
@@ -92,6 +98,7 @@ type workerPeer struct {
 // window the consumed journal prefixes are compacted away on both sides.
 func (p *workerPeer) Exchange(virgin *coverage.Virgin, corp *corpus.Corpus, crashes *crash.Bank) error {
 	w := p.w
+	atomic.StoreInt64(&p.execsPub, int64(w.stats.Execs))
 	virgin.MergeVirgin(w.virgin.v)
 	w.virgin.v.MergeVirgin(virgin)
 	_, p.pushed = corp.MergeJournal(w.corp, p.pushed)
@@ -175,13 +182,37 @@ func (f *Fleet) Workers() int { return len(f.workers) }
 
 // Execs returns the total executions performed so far — the budget
 // arithmetic accessor. Unlike Stats it merges nothing, so driving loops can
-// call it every slice without touching the shared state.
+// call it every slice without touching the shared state. Like Stats it must
+// not race with Run; concurrent observers use ExecsApprox.
 func (f *Fleet) Execs() int {
 	total := 0
 	for _, w := range f.workers {
 		total += w.stats.Execs
 	}
 	return total
+}
+
+// ExecsApprox returns the fleet's total executions as of each worker's
+// latest sync window. Unlike Execs it is safe to call from any goroutine
+// while Run is in flight — a fleetnet hub or mesh node reports local
+// progress to remote peers from connection-handler goroutines through it.
+// The figure lags the live counters by at most one merge window during a
+// multi-worker Run (and by the whole run for a sync-free single-worker
+// Run) and is exact whenever the fleet is idle.
+func (f *Fleet) ExecsApprox() int {
+	total := 0
+	for _, p := range f.peers {
+		total += int(atomic.LoadInt64(&p.execsPub))
+	}
+	return total
+}
+
+// publishExecs refreshes every worker's published counter; called when the
+// workers are quiescent (end of Run/RunUntil).
+func (f *Fleet) publishExecs() {
+	for i, w := range f.workers {
+		atomic.StoreInt64(&f.peers[i].execsPub, int64(w.stats.Execs))
+	}
 }
 
 // Step performs one iteration on worker 0 and returns how many executions it
@@ -194,6 +225,7 @@ func (f *Fleet) Step() int { return f.workers[0].Step() }
 // repeatedly to extend a campaign. With one worker it is the serial
 // Engine.Run, sync-free and bit-for-bit reproducible against it.
 func (f *Fleet) Run(execBudget int) {
+	defer f.publishExecs()
 	if len(f.workers) == 1 {
 		f.workers[0].Run(execBudget)
 		return
@@ -229,6 +261,7 @@ func (f *Fleet) Run(execBudget int) {
 // syncs (matching Run), which is why Stats, Corpus and Crashes read the
 // lone engine directly rather than the shared state.
 func (f *Fleet) RunUntil(deadline time.Time) {
+	defer f.publishExecs()
 	if len(f.workers) == 1 {
 		w := f.workers[0]
 		for time.Now().Before(deadline) {

@@ -290,3 +290,39 @@ func TestFleetSyncCompactsJournals(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelExecsApprox pins the concurrency-safe progress counter a
+// fleetnet node reports to remote peers: readable from another goroutine
+// while Run is in flight (the -race suite covers this test), and exactly
+// equal to Execs once the fleet is quiescent.
+func TestParallelExecsApprox(t *testing.T) {
+	f := newFleet(t, 2, 64, 7)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if got := f.ExecsApprox(); got < 0 {
+				t.Errorf("ExecsApprox went negative: %d", got)
+				return
+			}
+		}
+	}()
+	f.Run(4000)
+	done <- struct{}{}
+	<-done
+	if got, want := f.ExecsApprox(), f.Execs(); got != want {
+		t.Fatalf("quiescent ExecsApprox = %d, Execs = %d", got, want)
+	}
+
+	// The sync-free single-worker path publishes at the end of Run.
+	s := newFleet(t, 1, 64, 7)
+	s.Run(500)
+	if got, want := s.ExecsApprox(), s.Execs(); got != want {
+		t.Fatalf("single-worker ExecsApprox = %d, Execs = %d", got, want)
+	}
+}

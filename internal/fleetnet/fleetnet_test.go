@@ -162,15 +162,15 @@ func TestLeafReconnectResumes(t *testing.T) {
 		t.Fatal("leaf should be connected after a successful sync")
 	}
 	edgesBefore := state.Edges()
-	cursorBefore := leaf.hubCursor
+	cursorBefore := leaf.session.remoteCursor
 
 	leaf.Close() // simulated connection loss
 	fleet.Run(fleet.Execs() + 4000)
 	if err := leaf.Sync(); err != nil {
 		t.Fatalf("sync after reconnect: %v", err)
 	}
-	if leaf.hubCursor < cursorBefore {
-		t.Fatalf("hub cursor went backwards across reconnect: %d -> %d", cursorBefore, leaf.hubCursor)
+	if leaf.session.remoteCursor < cursorBefore {
+		t.Fatalf("hub cursor went backwards across reconnect: %d -> %d", cursorBefore, leaf.session.remoteCursor)
 	}
 	if state.Edges() < edgesBefore {
 		t.Fatalf("hub edges shrank across reconnect: %d -> %d", edgesBefore, state.Edges())
@@ -365,7 +365,7 @@ func TestHubRestartWithLostState(t *testing.T) {
 	if err := leaf.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if leaf.hubCursor == 0 {
+	if leaf.session.remoteCursor == 0 {
 		t.Skip("campaign pushed no puzzles; cursor overrun not exercised")
 	}
 	hub.Close()

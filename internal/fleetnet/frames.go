@@ -11,16 +11,23 @@ import (
 // per frame); everything downstream either copies on store (crash bank) or
 // treats puzzle data as immutable (corpus), matching in-process semantics.
 
-// helloFrame opens a session (leaf → hub).
+// helloFrame opens a session (dialer → acceptor).
 type helloFrame struct {
 	version uint64
-	nodeID  string // stable per leaf process; keys the hub's per-leaf stats
-	target  string // protocol target name, must match the hub's
-	digest  uint64 // model-set digest, must match the hub's
-	// resumeCursor is the leaf's saved position in the hub's corpus
-	// journal — how much of the hub's corpus it had consumed before a
-	// disconnect. Zero for a fresh leaf.
+	nodeID  string // stable per node process; keys the acceptor's per-peer stats
+	target  string // protocol target name, must match the acceptor's
+	digest  uint64 // model-set digest, must match the acceptor's
+	// resumeCursor is the dialer's saved position in the acceptor's corpus
+	// journal — how much of the acceptor's corpus it had consumed before a
+	// disconnect. Zero for a fresh peer. The acceptor seeds its journal
+	// registration from it at handshake time, so compaction is pinned
+	// correctly from the moment a resuming peer connects.
 	resumeCursor uint64
+	// Peer exchange (protocol v2): the address other nodes can dial this
+	// node at ("" for a plain leaf with no accept loop) and the mesh peer
+	// addresses it knows, so one seed address bootstraps a whole mesh.
+	advertise string
+	peers     []string
 }
 
 func (f *helloFrame) encode(dst []byte) []byte {
@@ -29,7 +36,9 @@ func (f *helloFrame) encode(dst []byte) []byte {
 	dst = appendString(dst, f.nodeID)
 	dst = appendString(dst, f.target)
 	dst = appendU64(dst, f.digest)
-	return appendUvarint(dst, f.resumeCursor)
+	dst = appendUvarint(dst, f.resumeCursor)
+	dst = appendString(dst, f.advertise)
+	return appendAddrs(dst, f.peers)
 }
 
 func decodeHello(payload []byte) (*helloFrame, error) {
@@ -46,26 +55,69 @@ func decodeHello(payload []byte) (*helloFrame, error) {
 		digest:       r.u64(),
 		resumeCursor: r.uvarint(),
 	}
+	// The peer-exchange tail was added in protocol v2; tolerate its absence
+	// so a v1-shaped frame still decodes into an empty peer set.
+	if r.err == nil && r.pos < len(r.buf) {
+		f.advertise = r.str()
+		f.peers = readAddrs(r)
+	}
 	return f, r.done()
 }
 
-// helloAckFrame accepts a session (hub → leaf).
+// helloAckFrame accepts a session (acceptor → dialer).
 type helloAckFrame struct {
 	version uint64 // negotiated session version
-	digest  uint64 // hub's model digest, echoed for symmetric diagnostics
+	digest  uint64 // acceptor's model digest, echoed for symmetric diagnostics
 	hubID   string
+	// peers is the acceptor's known mesh peer set (protocol v2) — how a
+	// node that bootstrapped from one address learns the rest of the mesh.
+	peers []string
 }
 
 func (f *helloAckFrame) encode(dst []byte) []byte {
 	dst = appendUvarint(dst, f.version)
 	dst = appendU64(dst, f.digest)
-	return appendString(dst, f.hubID)
+	dst = appendString(dst, f.hubID)
+	return appendAddrs(dst, f.peers)
 }
 
 func decodeHelloAck(payload []byte) (*helloAckFrame, error) {
 	r := &wireReader{buf: payload}
 	f := &helloAckFrame{version: r.uvarint(), digest: r.u64(), hubID: r.str()}
+	if r.err == nil && r.pos < len(r.buf) {
+		f.peers = readAddrs(r)
+	}
 	return f, r.done()
+}
+
+// appendAddrs / readAddrs encode the peer-address lists of the v2 peer
+// exchange.
+func appendAddrs(dst []byte, addrs []string) []byte {
+	dst = appendUvarint(dst, uint64(len(addrs)))
+	for _, a := range addrs {
+		dst = appendString(dst, a)
+	}
+	return dst
+}
+
+// maxPeerAddrs bounds a peer-exchange list; any sane mesh is orders of
+// magnitude smaller, so a bigger count means a corrupt frame.
+const maxPeerAddrs = 1024
+
+func readAddrs(r *wireReader) []string {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxPeerAddrs {
+		r.fail("implausible peer count %d", n)
+		return nil
+	}
+	addrs := make([]string, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		addrs = append(addrs, r.str())
+	}
+	return addrs
 }
 
 // appendPuzzles / readPuzzles encode the corpus delta shared by both sync
@@ -138,10 +190,10 @@ func readCrashes(r *wireReader) []*crash.Record {
 	return rs
 }
 
-// syncFrame is one leaf push (leaf → hub).
+// syncFrame is one push (dialer → acceptor).
 type syncFrame struct {
-	execs, hangs uint64 // leaf totals, absolute (idempotent under resend)
-	hubCursor    uint64 // where the hub should read its journal from
+	execs, hangs uint64 // sender totals, absolute (idempotent under resend)
+	cursor       uint64 // where the receiver should read its own journal from
 	virginDelta  []byte
 	puzzles      []corpus.Puzzle
 	crashes      []*crash.Record
@@ -150,7 +202,7 @@ type syncFrame struct {
 func (f *syncFrame) encode(dst []byte) []byte {
 	dst = appendUvarint(dst, f.execs)
 	dst = appendUvarint(dst, f.hangs)
-	dst = appendUvarint(dst, f.hubCursor)
+	dst = appendUvarint(dst, f.cursor)
 	dst = appendBlob(dst, f.virginDelta)
 	dst = appendPuzzles(dst, f.puzzles)
 	return appendCrashes(dst, f.crashes)
@@ -161,7 +213,7 @@ func decodeSync(payload []byte) (*syncFrame, error) {
 	f := &syncFrame{
 		execs:       r.uvarint(),
 		hangs:       r.uvarint(),
-		hubCursor:   r.uvarint(),
+		cursor:      r.uvarint(),
 		virginDelta: r.blob(),
 		puzzles:     readPuzzles(r),
 		crashes:     readCrashes(r),
@@ -169,16 +221,16 @@ func decodeSync(payload []byte) (*syncFrame, error) {
 	return f, r.done()
 }
 
-// syncAckFrame is the hub's reply to one sync.
+// syncAckFrame is the acceptor's reply to one sync.
 type syncAckFrame struct {
 	virginDelta []byte
 	puzzles     []corpus.Puzzle
 	crashes     []*crash.Record
-	newCursor   uint64 // the leaf's next hubCursor
-	// Fleet-wide figures for leaf-side progress display: total remote
-	// executions the hub has heard of (its own workers included when it
-	// runs a fleet), distinct edges in the hub union map, and the number
-	// of currently connected leaves.
+	newCursor   uint64 // the dialer's next cursor into the acceptor's journal
+	// Fleet-wide figures for dialer-side progress display: total remote
+	// executions the acceptor has heard of (its own workers included when
+	// it runs a fleet), distinct edges in its union map, and the number of
+	// currently connected inbound peers.
 	fleetExecs, fleetEdges, leaves uint64
 }
 

@@ -13,11 +13,12 @@ import (
 	"repro/internal/datamodel"
 )
 
-// ModelDigest fingerprints a target's model set for the handshake: hub and
-// leaf must be fuzzing the same target with structurally identical data
-// models, or their rule signatures would disagree and donated puzzles
-// would be garbage. The digest is an FNV-1a walk over the target name and
-// every chunk's name, kind, and construction-rule signature in tree order.
+// ModelDigest fingerprints a target's model set for the handshake: both
+// ends of a link must be fuzzing the same target with structurally
+// identical data models, or their rule signatures would disagree and
+// donated puzzles would be garbage. The digest is an FNV-1a walk over the
+// target name and every chunk's name, kind, and construction-rule
+// signature in tree order.
 func ModelDigest(target string, models []*datamodel.Model) uint64 {
 	const (
 		offset = 14695981039346656037
@@ -64,19 +65,30 @@ type HubConfig struct {
 	// NodeID names this hub in handshakes; defaults to "hub".
 	NodeID string
 	// LocalExecs, when non-nil, reports the hub's own executions so leaf
-	// progress displays can show a fleet-wide total.
+	// progress displays can show a fleet-wide total. It is called from
+	// connection-handler goroutines and must be safe for concurrent use
+	// (core.Fleet.ExecsApprox is; Fleet.Execs is not).
 	LocalExecs func() int
 	// Timeout bounds each frame read/write (0 = 30s). A leaf that stalls
 	// longer is dropped; it reconnects with its resume cursor.
 	Timeout time.Duration
 	// Logf receives connection lifecycle messages (nil = no logging).
 	Logf func(format string, args ...any)
+	// KnownPeers, when non-nil, supplies the peer addresses shared in
+	// helloAcks — the acceptor half of the mesh peer exchange. Nil for a
+	// plain hub. Called from handler goroutines.
+	KnownPeers func() []string
+	// LearnPeer, when non-nil, receives every peer address announced in a
+	// hello (the dialer's advertise address plus its known peers). Nil
+	// ignores them. Called from handler goroutines.
+	LearnPeer func(addr string)
 }
 
-// Hub serves one campaign's shared state to remote leaves. Every accepted
+// Hub serves one campaign's shared state to remote peers. Every accepted
 // connection merges through the same core.SyncPeer path local workers use,
 // so a hub that also runs a local Fleet needs no extra coordination — the
-// shared state's mutex serializes workers and leaves alike.
+// shared state's mutex serializes workers and remote sessions alike. In
+// mesh mode every node embeds a Hub as its accept loop.
 type Hub struct {
 	cfg    HubConfig
 	digest uint64
@@ -89,12 +101,17 @@ type Hub struct {
 	wg     sync.WaitGroup
 }
 
-// remoteLeaf is the hub's per-leaf accounting, keyed by the leaf's
-// self-chosen node id. Totals are absolute figures from the leaf's latest
-// sync, so reconnects and resends never double-count.
+// remoteLeaf is the hub's per-peer accounting, keyed by the peer's
+// self-chosen node id. Totals are absolute figures from the peer's latest
+// sync, so reconnects and resends never double-count. gen counts sessions:
+// a redial before the previous connection is reaped starts a new session
+// under the same id, and only the *current* session's teardown may mark
+// the peer disconnected (see Hub.handle).
 type remoteLeaf struct {
 	execs, hangs uint64
 	connected    bool
+	gen          uint64
+	advertise    string // dial-back address from the latest handshake ("" for plain leaves)
 }
 
 // NewHub validates the configuration and returns a hub ready to Serve.
@@ -153,7 +170,7 @@ func (h *Hub) Addr() string {
 	return h.ln.Addr().String()
 }
 
-// Close stops accepting, disconnects every leaf, and waits for the
+// Close stops accepting, disconnects every peer, and waits for the
 // connection handlers to drain. The shared state keeps everything already
 // merged; a restarted hub on the same state resumes cleanly.
 func (h *Hub) Close() error {
@@ -171,9 +188,9 @@ func (h *Hub) Close() error {
 	return nil
 }
 
-// RemoteStats sums the latest absolute figures reported by every leaf ever
-// seen (disconnected leaves' contributions remain — the work happened) and
-// reports how many leaves are currently connected.
+// RemoteStats sums the latest absolute figures reported by every peer ever
+// seen (disconnected peers' contributions remain — the work happened) and
+// reports how many are currently connected.
 func (h *Hub) RemoteStats() (execs, hangs, connected int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -185,6 +202,22 @@ func (h *Hub) RemoteStats() (execs, hangs, connected int) {
 		}
 	}
 	return execs, hangs, connected
+}
+
+// InboundAdvertised lists the advertised dial-back addresses of currently
+// connected inbound sessions. The mesh consults it to avoid duplicating a
+// link that already exists in the other direction: a learned peer that
+// keeps an uplink to us does not need one from us.
+func (h *Hub) InboundAdvertised() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool)
+	for _, l := range h.leaves {
+		if l.connected && l.advertise != "" {
+			out[l.advertise] = true
+		}
+	}
+	return out
 }
 
 func (h *Hub) acceptLoop(ln net.Listener) {
@@ -213,119 +246,91 @@ func (h *Hub) acceptLoop(ln net.Listener) {
 	}
 }
 
-// connPeer is the hub side of one leaf session: the per-connection sync
-// cursors that make deltas deltas. It implements core.SyncPeer for the
-// window where a decoded sync frame is merged and the reply is built, so a
-// remote leaf takes exactly the merge path a local worker does.
+// connPeer is the acceptor side of one session: the peerSession cursors
+// that make deltas deltas, plus the frames of the window in flight. It
+// implements core.SyncPeer for the window where a decoded sync frame is
+// merged and the reply is built, so a remote peer takes exactly the merge
+// path a local worker does.
 type connPeer struct {
-	hub    *Hub
-	nodeID string
-	// shadow mirrors the shared coverage the leaf is known to have: what
-	// this hub sent plus what the leaf itself pushed. Reply deltas are
-	// computed against it, so steady-state windows carry only novelty.
-	shadow *coverage.Virgin
-	// corpusPeer registers this connection as a consumer of the shared
-	// journal (pinning compaction no further back than the leaf's
-	// cursor); -1 until the first window.
-	corpusPeer int
-	// sentCrash maps fault keys to the highest Count the leaf is known to
-	// hold; a record is (re-)sent when the hub's count grows past it.
-	sentCrash map[string]int
+	hub     *Hub
+	nodeID  string
+	gen     uint64 // session generation under nodeID; see remoteLeaf.gen
+	session *peerSession
 
 	req *syncFrame    // current window's decoded push
 	ack *syncAckFrame // reply being built
 }
 
-// Exchange merges one leaf push into the shared state and builds the reply
+// Exchange merges one peer push into the shared state and builds the reply
 // under the same lock — one atomic merge window, exactly like a worker's.
+// The reply deltas are built BEFORE the push is absorbed: the journal tail
+// then contains only other nodes' puzzles and the bitmap delta only other
+// nodes' words, so nothing the peer already knows is echoed back.
 func (p *connPeer) Exchange(virgin *coverage.Virgin, corp *corpus.Corpus, crashes *crash.Bank) error {
-	req, ack := p.req, p.ack
-	if p.corpusPeer < 0 {
-		p.corpusPeer = corp.RegisterPeer(int(req.hubCursor))
-	}
-	// Build the reply's corpus and coverage deltas BEFORE absorbing the
-	// push: the journal tail then contains only other nodes' puzzles, and
-	// the bitmap delta only other nodes' words. The push is folded into
-	// the shadow afterwards, so nothing the leaf already knows is ever
-	// echoed back.
-	ack.virginDelta = coverage.AppendVirginDelta(nil, virgin, p.shadow)
-	corp.ReadJournal(int(req.hubCursor), func(pz corpus.Puzzle) {
-		ack.puzzles = append(ack.puzzles, pz)
-	})
-	if _, err := virgin.ApplyDelta(req.virginDelta); err != nil {
+	req, ack, s := p.req, p.ack, p.session
+	// The dialer owns its cursor into our journal — it survives its own
+	// session resets where our copy would not — so honor the one it sent.
+	s.localCursor = int(req.cursor)
+	ack.virginDelta, ack.puzzles = s.sendDelta(virgin, corp)
+	// Absorbing the push advances localCursor over the entries it
+	// journaled (nothing else can append inside this locked window), so
+	// the cursor returned to the dialer skips exactly its own material.
+	if err := s.absorbDelta(req.virginDelta, req.puzzles, req.crashes, virgin, corp, crashes); err != nil {
 		return err
 	}
-	if _, err := p.shadow.ApplyDelta(req.virginDelta); err != nil {
-		return err
-	}
-	for _, pz := range req.puzzles {
-		corp.Absorb(pz)
-	}
-	// The reply tail above ended at the pre-push journal length, and the
-	// leaf's accepted puzzles landed after it; within this locked window
-	// nothing else could append, so a cursor at the current length skips
-	// exactly the leaf's own material next window.
-	ack.newCursor = uint64(corp.JournalLen())
-	corp.AdvancePeer(p.corpusPeer, int(ack.newCursor))
+	ack.crashes = s.crashDelta(crashes.Records())
+	ack.newCursor = uint64(s.localCursor)
 	corp.CompactJournal()
-	for _, r := range req.crashes {
-		crashes.Absorb(r)
-		if key := crash.RecordKey(r); r.Count > p.sentCrash[key] {
-			p.sentCrash[key] = r.Count // the leaf already has this much
-		}
-	}
-	for _, r := range crashes.Records() {
-		key := crash.RecordKey(r)
-		if sent, ok := p.sentCrash[key]; !ok || r.Count > sent {
-			p.sentCrash[key] = r.Count
-			ack.crashes = append(ack.crashes, r)
-		}
-	}
 	ack.fleetEdges = uint64(virgin.Edges())
 	return nil
 }
 
-// handle runs one leaf session: handshake, then sync windows until the
+// handle runs one peer session: handshake, then sync windows until the
 // connection drops or the hub closes.
 func (h *Hub) handle(conn net.Conn) {
 	defer h.wg.Done()
-	peer := &connPeer{hub: h, shadow: coverage.NewVirgin(), corpusPeer: -1, sentCrash: make(map[string]int)}
+	peer := &connPeer{hub: h, session: newPeerSession()}
 	defer func() {
-		h.mu.Lock()
-		delete(h.conns, conn)
-		if l, ok := h.leaves[peer.nodeID]; ok {
-			l.connected = false
-		}
-		h.mu.Unlock()
 		conn.Close()
-		// A gone leaf must not pin journal compaction; if it resumes, the
-		// MergeJournal fallback replays the full corpus for it.
-		if peer.corpusPeer >= 0 {
+		// A gone peer must not pin journal compaction; if it resumes, the
+		// handshake re-registers it at its resume cursor (or the journal
+		// fallback replays the full corpus for it).
+		if peer.session.journalID >= 0 {
 			h.cfg.State.Exchange(core.ExchangeFunc(func(_ *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
-				corp.DropPeer(peer.corpusPeer)
+				peer.session.unregister(corp)
 				return nil
 			}))
 		}
+		h.mu.Lock()
+		delete(h.conns, conn)
+		// Only the session currently owning this node id may report it
+		// disconnected: a peer that redialed before this stale connection
+		// was reaped has already started generation gen+1, and its live
+		// session must keep counting as connected.
+		if l, ok := h.leaves[peer.nodeID]; ok && l.gen == peer.gen {
+			l.connected = false
+		}
+		h.mu.Unlock()
 	}()
 
 	if err := h.handshake(conn, peer); err != nil {
 		h.cfg.Logf("fleetnet hub: handshake from %s: %v", conn.RemoteAddr(), err)
 		return
 	}
-	h.cfg.Logf("fleetnet hub: leaf %q connected from %s", peer.nodeID, conn.RemoteAddr())
+	h.cfg.Logf("fleetnet hub: peer %q connected from %s", peer.nodeID, conn.RemoteAddr())
 
 	for {
 		conn.SetDeadline(time.Now().Add(h.cfg.Timeout))
 		typ, payload, err := readFrame(conn)
 		if err != nil {
-			h.cfg.Logf("fleetnet hub: leaf %q: %v", peer.nodeID, err)
+			h.cfg.Logf("fleetnet hub: peer %q: %v", peer.nodeID, err)
 			return
 		}
 		switch typ {
 		case frameSync:
 		case frameError:
 			r := &wireReader{buf: payload}
-			h.cfg.Logf("fleetnet hub: leaf %q sent error: %s", peer.nodeID, r.str())
+			h.cfg.Logf("fleetnet hub: peer %q sent error: %s", peer.nodeID, r.str())
 			return
 		default:
 			sendError(conn, "unexpected frame type %d mid-session", typ)
@@ -339,23 +344,16 @@ func (h *Hub) handle(conn net.Conn) {
 		peer.req = req
 		peer.ack = &syncAckFrame{}
 		if err := h.cfg.State.Exchange(peer); err != nil {
-			h.cfg.Logf("fleetnet hub: leaf %q push rejected: %v", peer.nodeID, err)
+			h.cfg.Logf("fleetnet hub: peer %q push rejected: %v", peer.nodeID, err)
 			sendError(conn, "%v", err)
 			return
 		}
 		h.noteLeaf(peer.nodeID, req)
 		peer.ack.fleetExecs = uint64(h.fleetExecs())
-		h.mu.Lock()
-		leaves := 0
-		for _, l := range h.leaves {
-			if l.connected {
-				leaves++
-			}
-		}
-		h.mu.Unlock()
-		peer.ack.leaves = uint64(leaves)
+		_, _, connected := h.RemoteStats()
+		peer.ack.leaves = uint64(connected)
 		if err := writeFrame(conn, frameSyncAck, peer.ack.encode(nil)); err != nil {
-			h.cfg.Logf("fleetnet hub: leaf %q: %v", peer.nodeID, err)
+			h.cfg.Logf("fleetnet hub: peer %q: %v", peer.nodeID, err)
 			return
 		}
 	}
@@ -363,7 +361,7 @@ func (h *Hub) handle(conn net.Conn) {
 
 // handshake validates a hello frame and replies. Only structural protocol
 // errors are tolerated silently; mismatched target/models are answered with
-// an error frame so the operator sees the reason leaf-side.
+// an error frame so the operator sees the reason on the dialing side.
 func (h *Hub) handshake(conn net.Conn, peer *connPeer) error {
 	conn.SetDeadline(time.Now().Add(h.cfg.Timeout))
 	typ, payload, err := readFrame(conn)
@@ -385,12 +383,12 @@ func (h *Hub) handshake(conn net.Conn, peer *connPeer) error {
 		return err
 	}
 	if hello.target != h.cfg.Target {
-		err := fmt.Errorf("leaf fuzzes target %q, hub fuzzes %q", hello.target, h.cfg.Target)
+		err := fmt.Errorf("peer fuzzes target %q, this node fuzzes %q", hello.target, h.cfg.Target)
 		sendError(conn, "%v", err)
 		return err
 	}
 	if hello.digest != h.digest {
-		err := fmt.Errorf("model digest mismatch (leaf %016x, hub %016x): data models differ", hello.digest, h.digest)
+		err := fmt.Errorf("model digest mismatch (peer %016x, local %016x): data models differ", hello.digest, h.digest)
 		sendError(conn, "%v", err)
 		return err
 	}
@@ -401,20 +399,40 @@ func (h *Hub) handshake(conn net.Conn, peer *connPeer) error {
 		l = &remoteLeaf{}
 		h.leaves[peer.nodeID] = l
 	}
+	l.gen++
+	peer.gen = l.gen
 	l.connected = true
+	l.advertise = hello.advertise
 	h.mu.Unlock()
+	// Seed the journal registration from the resume cursor NOW, before the
+	// ack releases the dialer: a resuming peer's tail is pinned against
+	// compaction from the moment it connects, not from its first sync.
+	h.cfg.State.Exchange(core.ExchangeFunc(func(_ *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
+		peer.session.register(corp, int(hello.resumeCursor))
+		return nil
+	}))
+	if h.cfg.LearnPeer != nil {
+		if hello.advertise != "" {
+			h.cfg.LearnPeer(hello.advertise)
+		}
+		for _, a := range hello.peers {
+			h.cfg.LearnPeer(a)
+		}
+	}
 	ack := &helloAckFrame{version: version, digest: h.digest, hubID: h.cfg.NodeID}
+	if h.cfg.KnownPeers != nil {
+		ack.peers = h.cfg.KnownPeers()
+	}
 	return writeFrame(conn, frameHelloAck, ack.encode(nil))
 }
 
-// noteLeaf records a leaf's absolute progress figures.
+// noteLeaf records a peer's absolute progress figures.
 func (h *Hub) noteLeaf(nodeID string, req *syncFrame) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	l := h.leaves[nodeID]
 	if l == nil {
-		l = &remoteLeaf{connected: true}
-		h.leaves[nodeID] = l
+		return // unreachable mid-session; handshake created the entry
 	}
 	if req.execs > l.execs {
 		l.execs = req.execs
@@ -424,7 +442,7 @@ func (h *Hub) noteLeaf(nodeID string, req *syncFrame) {
 	}
 }
 
-// fleetExecs is the hub's best knowledge of total fleet executions.
+// fleetExecs is this node's best knowledge of total fleet executions.
 func (h *Hub) fleetExecs() int {
 	execs, _, _ := h.RemoteStats()
 	if h.cfg.LocalExecs != nil {

@@ -17,54 +17,58 @@ import (
 // LeafConfig parameterizes a Leaf.
 type LeafConfig struct {
 	// Fleet is the local campaign this leaf contributes; its shared state
-	// is what gets exchanged with the hub.
+	// is what gets exchanged with the remote node.
 	Fleet *core.Fleet
-	// Addr is the hub's host:port.
+	// Addr is the remote node's host:port.
 	Addr string
-	// Target and Models identify the campaign; they must match the hub's
-	// (verified by the handshake digest).
+	// Target and Models identify the campaign; they must match the
+	// remote's (verified by the handshake digest).
 	Target string
 	Models []*datamodel.Model
-	// NodeID names this leaf in the hub's per-leaf stats. Defaults to
+	// NodeID names this node in the remote's per-peer stats. Defaults to
 	// hostname/pid/sequence, which is stable for the leaf's lifetime and
 	// distinct for multiple leaves in one process — a restarted leaf
 	// process is a new leaf.
 	NodeID string
 	// Timeout bounds each frame read/write (0 = 30s).
 	Timeout time.Duration
+	// DialTimeout bounds the TCP connect of a (re)dial (0 = Timeout). The
+	// mesh sets a tight value here so one blackholed peer cannot stall a
+	// node's whole sync round for a full frame timeout.
+	DialTimeout time.Duration
 	// Logf receives connection lifecycle messages (nil = no logging).
 	Logf func(format string, args ...any)
+	// Advertise is the address other nodes can dial this node's accept
+	// loop at, announced in the handshake ("" for a plain leaf without
+	// one). Set by the mesh for its uplinks.
+	Advertise string
+	// KnownPeers, when non-nil, supplies the peer addresses announced in
+	// the hello — the dialer half of the mesh peer exchange.
+	KnownPeers func() []string
+	// LearnPeer, when non-nil, receives every peer address the remote
+	// shares in its helloAck.
+	LearnPeer func(addr string)
 }
 
-// Leaf connects one local Fleet to a hub. All methods must be called from
-// the fleet's driving goroutine (a Leaf adds networking to the campaign
-// loop, not concurrency). Disconnects are tolerated: the leaf keeps
-// fuzzing, and the next Sync redials and resumes — its cursor into the hub
-// journal survives locally, and everything it re-pushes merges
-// idempotently on the hub.
+// Leaf connects one local Fleet to a remote node (a hub, or in mesh mode
+// any peer's accept loop — a mesh uplink is a Leaf). All methods must be
+// called from the fleet's driving goroutine (a Leaf adds networking to the
+// campaign loop, not concurrency). Disconnects are tolerated: the leaf
+// keeps fuzzing, and the next Sync redials and resumes — its cursor into
+// the remote journal survives locally, and everything it re-pushes merges
+// idempotently on the remote.
 type Leaf struct {
 	cfg    LeafConfig
 	state  *core.SyncState
 	digest uint64
 
 	conn net.Conn
-	// shadow mirrors the coverage the hub is known to have (what this
-	// leaf pushed plus what the hub sent); push deltas are computed
-	// against it. Reset on reconnect — the replacement connection's hub
-	// may be a restarted process that lost this session's context.
-	shadow *coverage.Virgin
-	// pushCursor is this leaf's read position in its own shared journal
-	// (what has been pushed to the hub); pushPeer registers the uplink as
-	// a journal consumer so compaction waits for it.
-	pushCursor int
-	pushPeer   int
-	// hubCursor is the read position in the hub's journal — the resumable
-	// cursor: it survives reconnects and hub restarts (a hub that lost or
-	// compacted the tail behind it serves a full replay instead).
-	hubCursor int
-	// sentCrash maps fault keys to the highest Count the hub is known to
-	// hold; a record is (re-)sent when the local count grows past it.
-	sentCrash map[string]int
+	// session is the per-peer sync state for this uplink: the shadow of
+	// what the remote holds, the cursors into both journals, and the
+	// crash watermarks. Reset on reconnect (remoteCursor excepted) — the
+	// replacement connection's far side may be a restarted process that
+	// lost this session's context.
+	session *peerSession
 
 	// Fleet-wide figures from the latest ack, for progress displays.
 	fleetExecs, fleetEdges, leaves int
@@ -94,26 +98,27 @@ func NewLeaf(cfg LeafConfig) (*Leaf, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = cfg.Timeout
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	l := &Leaf{
-		cfg:       cfg,
-		state:     cfg.Fleet.State(),
-		digest:    ModelDigest(cfg.Target, cfg.Models),
-		shadow:    coverage.NewVirgin(),
-		sentCrash: make(map[string]int),
-		pushPeer:  -1,
+		cfg:     cfg,
+		state:   cfg.Fleet.State(),
+		digest:  ModelDigest(cfg.Target, cfg.Models),
+		session: newPeerSession(),
 	}
 	l.state.Exchange(core.ExchangeFunc(func(_ *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
-		l.pushPeer = corp.RegisterPeer(0)
+		l.session.register(corp, 0)
 		return nil
 	}))
 	return l, nil
 }
 
-// Sync runs one merge window with the hub: flush the local workers into the
-// shared state, exchange deltas over the wire, fold the hub's reply back,
+// Sync runs one merge window with the remote: flush the local workers into
+// the shared state, exchange deltas over the wire, fold the reply back,
 // and flush again so the workers see the remote material immediately. On
 // any failure the session is reset (the next Sync redials and re-pushes
 // from scratch; all exchanged state merges idempotently) and the error is
@@ -125,104 +130,16 @@ func (l *Leaf) Sync() error {
 			return err
 		}
 	}
-
-	// A Close releases the uplink's journal registration so a dead leaf
-	// never pins compaction; a Sync after Close is a revival, so
-	// re-register at the saved cursor (clamped into the live journal).
-	if l.pushPeer < 0 {
-		l.state.Exchange(core.ExchangeFunc(func(_ *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
-			l.pushPeer = corp.RegisterPeer(l.pushCursor)
-			return nil
-		}))
-	}
-
-	// Build the push under the state lock, but keep network I/O outside it.
-	req := &syncFrame{
-		execs:     uint64(l.cfg.Fleet.Execs()),
-		hubCursor: uint64(l.hubCursor),
-	}
-	bank := l.cfg.Fleet.Crashes()
-	req.hangs = uint64(bank.Hangs())
-	for _, r := range bank.Records() {
-		key := crash.RecordKey(r)
-		if sent, ok := l.sentCrash[key]; !ok || r.Count > sent {
-			l.sentCrash[key] = r.Count
-			req.crashes = append(req.crashes, r)
-		}
-	}
-	l.state.Exchange(core.ExchangeFunc(func(virgin *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
-		req.virginDelta = coverage.AppendVirginDelta(nil, virgin, l.shadow)
-		l.pushCursor = corp.ReadJournal(l.pushCursor, func(p corpus.Puzzle) {
-			req.puzzles = append(req.puzzles, p)
-		})
-		corp.AdvancePeer(l.pushPeer, l.pushCursor)
-		corp.CompactJournal()
-		return nil
-	}))
-
-	l.conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
-	push := req.encode(nil)
-	l.txBytes += len(push) + 5 // frame header + type byte
-	if err := writeFrame(l.conn, frameSync, push); err != nil {
-		l.reset()
-		return fmt.Errorf("fleetnet: push to hub: %w", err)
-	}
-	typ, payload, err := readFrame(l.conn)
-	if err != nil {
-		l.reset()
-		return fmt.Errorf("fleetnet: read hub reply: %w", err)
-	}
-	l.rxBytes += len(payload) + 5
-	if typ == frameError {
-		r := &wireReader{buf: payload}
-		msg := r.str()
-		l.reset()
-		return fmt.Errorf("fleetnet: hub rejected sync: %s", msg)
-	}
-	if typ != frameSyncAck {
-		l.reset()
-		return fmt.Errorf("fleetnet: expected syncAck, got frame type %d", typ)
-	}
-	ack, err := decodeSyncAck(payload)
+	req := l.buildPush()
+	ack, err := l.roundTrip(req)
 	if err != nil {
 		l.reset()
 		return err
 	}
-
-	applyErr := l.state.Exchange(core.ExchangeFunc(func(virgin *coverage.Virgin, corp *corpus.Corpus, crashes *crash.Bank) error {
-		if _, err := virgin.ApplyDelta(ack.virginDelta); err != nil {
-			return err
-		}
-		// The hub's reply is coverage this leaf now has; folding it into
-		// the shadow keeps the next push delta free of echoes.
-		if _, err := l.shadow.ApplyDelta(ack.virginDelta); err != nil {
-			return err
-		}
-		preLen := corp.JournalLen()
-		for _, p := range ack.puzzles {
-			corp.Absorb(p)
-		}
-		// Puzzles the hub just sent are journaled locally for the workers
-		// to pull; the uplink must not push them straight back. When
-		// nothing else appended since the push was built (the common,
-		// single-threaded case), skip the echo outright.
-		if l.pushCursor == preLen {
-			l.pushCursor = corp.JournalLen()
-			corp.AdvancePeer(l.pushPeer, l.pushCursor)
-		}
-		for _, r := range ack.crashes {
-			crashes.Absorb(r)
-			if key := crash.RecordKey(r); r.Count > l.sentCrash[key] {
-				l.sentCrash[key] = r.Count
-			}
-		}
-		return nil
-	}))
-	if applyErr != nil {
+	if err := l.applyAck(ack); err != nil {
 		l.reset()
-		return applyErr
+		return err
 	}
-	l.hubCursor = int(ack.newCursor)
 	l.fleetExecs, l.fleetEdges, l.leaves = int(ack.fleetExecs), int(ack.fleetEdges), int(ack.leaves)
 	l.synced = true
 
@@ -230,18 +147,81 @@ func (l *Leaf) Sync() error {
 	return nil
 }
 
+// buildPush assembles one push frame: everything the remote is not known
+// to hold. The deltas are built under the state lock; network I/O stays
+// outside it.
+func (l *Leaf) buildPush() *syncFrame {
+	req := &syncFrame{
+		execs:  uint64(l.cfg.Fleet.Execs()),
+		cursor: uint64(l.session.remoteCursor),
+	}
+	bank := l.cfg.Fleet.Crashes()
+	req.hangs = uint64(bank.Hangs())
+	req.crashes = l.session.crashDelta(bank.Records())
+	l.state.Exchange(core.ExchangeFunc(func(virgin *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
+		// A Close released the journal registration so a dead leaf never
+		// pins compaction; a Sync after Close is a revival, so re-register
+		// at the saved cursor (clamped into the live journal).
+		l.session.register(corp, l.session.localCursor)
+		req.virginDelta, req.puzzles = l.session.sendDelta(virgin, corp)
+		corp.CompactJournal()
+		return nil
+	}))
+	return req
+}
+
+// roundTrip ships one push and reads the reply, accounting wire traffic.
+func (l *Leaf) roundTrip(req *syncFrame) (*syncAckFrame, error) {
+	l.conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
+	push := req.encode(nil)
+	l.txBytes += len(push) + 5 // frame header + type byte
+	if err := writeFrame(l.conn, frameSync, push); err != nil {
+		return nil, fmt.Errorf("fleetnet: push to %s: %w", l.cfg.Addr, err)
+	}
+	typ, payload, err := readFrame(l.conn)
+	if err != nil {
+		return nil, fmt.Errorf("fleetnet: read reply from %s: %w", l.cfg.Addr, err)
+	}
+	l.rxBytes += len(payload) + 5
+	if typ == frameError {
+		r := &wireReader{buf: payload}
+		return nil, fmt.Errorf("fleetnet: peer rejected sync: %s", r.str())
+	}
+	if typ != frameSyncAck {
+		return nil, fmt.Errorf("fleetnet: expected syncAck, got frame type %d", typ)
+	}
+	return decodeSyncAck(payload)
+}
+
+// applyAck folds one reply into the shared state under the state lock and
+// advances the remote-journal cursor.
+func (l *Leaf) applyAck(ack *syncAckFrame) error {
+	err := l.state.Exchange(core.ExchangeFunc(func(virgin *coverage.Virgin, corp *corpus.Corpus, crashes *crash.Bank) error {
+		return l.session.absorbDelta(ack.virginDelta, ack.puzzles, ack.crashes, virgin, corp, crashes)
+	}))
+	if err != nil {
+		return err
+	}
+	l.session.remoteCursor = int(ack.newCursor)
+	return nil
+}
+
 // dial connects and handshakes.
 func (l *Leaf) dial() error {
-	conn, err := net.DialTimeout("tcp", l.cfg.Addr, l.cfg.Timeout)
+	conn, err := net.DialTimeout("tcp", l.cfg.Addr, l.cfg.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("fleetnet: dial hub %s: %w", l.cfg.Addr, err)
+		return fmt.Errorf("fleetnet: dial %s: %w", l.cfg.Addr, err)
 	}
 	hello := &helloFrame{
 		version:      ProtocolVersion,
 		nodeID:       l.cfg.NodeID,
 		target:       l.cfg.Target,
 		digest:       l.digest,
-		resumeCursor: uint64(l.hubCursor),
+		resumeCursor: uint64(l.session.remoteCursor),
+		advertise:    l.cfg.Advertise,
+	}
+	if l.cfg.KnownPeers != nil {
+		hello.peers = l.cfg.KnownPeers()
 	}
 	conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
 	if err := writeFrame(conn, frameHello, hello.encode(nil)); err != nil {
@@ -257,7 +237,7 @@ func (l *Leaf) dial() error {
 		r := &wireReader{buf: payload}
 		msg := r.str()
 		conn.Close()
-		return fmt.Errorf("fleetnet: hub refused connection: %s", msg)
+		return fmt.Errorf("fleetnet: peer refused connection: %s", msg)
 	}
 	if typ != frameHelloAck {
 		conn.Close()
@@ -270,27 +250,31 @@ func (l *Leaf) dial() error {
 	}
 	if ack.version < MinProtocolVersion || ack.version > ProtocolVersion {
 		conn.Close()
-		return fmt.Errorf("fleetnet: hub negotiated unsupported protocol %d (this build speaks %d..%d)",
+		return fmt.Errorf("fleetnet: peer negotiated unsupported protocol %d (this build speaks %d..%d)",
 			ack.version, MinProtocolVersion, ProtocolVersion)
 	}
+	if l.cfg.LearnPeer != nil {
+		for _, a := range ack.peers {
+			l.cfg.LearnPeer(a)
+		}
+	}
 	l.conn = conn
-	l.cfg.Logf("fleetnet leaf: connected to hub %q at %s (protocol %d)", ack.hubID, l.cfg.Addr, ack.version)
+	l.cfg.Logf("fleetnet leaf: connected to %q at %s (protocol %d)", ack.hubID, l.cfg.Addr, ack.version)
 	return nil
 }
 
 // reset tears the session down so the next Sync starts fresh. The shadow
-// bitmap, push cursor, and sent-crash set rewind to zero — the replacement
-// hub connection may not remember this session, so everything is re-pushed
-// and merges idempotently. hubCursor deliberately survives: it indexes hub
-// state, and the hub downgrades a stale cursor to a full replay by itself.
+// bitmap, local cursor, and sent-crash set rewind to zero — the replacement
+// connection's far side may not remember this session, so everything is
+// re-pushed and merges idempotently. The remote cursor deliberately
+// survives: it indexes remote state, and the remote downgrades a stale
+// cursor to a full replay by itself.
 func (l *Leaf) reset() {
 	if l.conn != nil {
 		l.conn.Close()
 		l.conn = nil
 	}
-	l.shadow = coverage.NewVirgin()
-	l.pushCursor = 0
-	l.sentCrash = make(map[string]int)
+	l.session.resetWire()
 }
 
 // Close ends the session and unregisters the uplink from the fleet's
@@ -304,11 +288,9 @@ func (l *Leaf) Close() error {
 		l.conn.Close()
 		l.conn = nil
 	}
-	if l.pushPeer >= 0 {
-		id := l.pushPeer
-		l.pushPeer = -1
+	if l.session.journalID >= 0 {
 		l.state.Exchange(core.ExchangeFunc(func(_ *coverage.Virgin, corp *corpus.Corpus, _ *crash.Bank) error {
-			corp.DropPeer(id)
+			l.session.unregister(corp)
 			return nil
 		}))
 	}
@@ -319,19 +301,19 @@ func (l *Leaf) Close() error {
 func (l *Leaf) Connected() bool { return l.conn != nil }
 
 // Traffic returns the cumulative bytes this leaf has sent to and received
-// from the hub in sync frames (headers included, handshakes excluded) —
+// from its remote in sync frames (headers included, handshakes excluded) —
 // the measurement behind `make bench-fleetnet`.
 func (l *Leaf) Traffic() (tx, rx int) { return l.txBytes, l.rxBytes }
 
 // FleetStats returns the fleet-wide figures from the latest ack — total
-// executions the hub knows of, distinct edges in the hub's union map, and
-// connected leaves — and whether any ack has arrived yet.
+// executions the remote knows of, distinct edges in its union map, and
+// its connected peers — and whether any ack has arrived yet.
 func (l *Leaf) FleetStats() (execs, edges, leaves int, ok bool) {
 	return l.fleetExecs, l.fleetEdges, l.leaves, l.synced
 }
 
 // Run drives the local fleet to execBudget total executions, syncing with
-// the hub every syncEvery executions (0 = every 4 merge windows' worth,
+// the remote every syncEvery executions (0 = every 4 merge windows' worth,
 // 1024). Sync failures are logged and fuzzing continues; the budget is
 // always spent. The final state is flushed with a last Sync whose error, if
 // any, is returned (the campaign results remain locally intact).
@@ -354,7 +336,7 @@ func (l *Leaf) Run(execBudget, syncEvery int) error {
 }
 
 // RunUntil is Run with a wall-clock deadline instead of an exec budget:
-// the same syncEvery execution cadence between hub syncs, stopping within
+// the same syncEvery execution cadence between syncs, stopping within
 // one merge-window slice (≤256 execs) of the deadline.
 func (l *Leaf) RunUntil(deadline time.Time, syncEvery int) error {
 	if syncEvery <= 0 {

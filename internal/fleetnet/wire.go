@@ -1,37 +1,54 @@
-// Package fleetnet extends the fleet's batched merge protocol across hosts:
-// a hub node serves one campaign's shared state (core.SyncState) over TCP,
-// and leaf nodes running local fleets exchange deltas with it — virgin
-// coverage bitmaps as dirty-word deltas, corpus puzzles as journal tails
-// with resumable cursors, crash records as an idempotent dedup stream. The
-// merge semantics are exactly the in-process Fleet's (the hub and the
-// leaves speak to their local state through the same core.SyncPeer path
-// worker engines use); this package only adds framing, transport, and
-// reconnect handling.
+// Package fleetnet extends the fleet's batched merge protocol across
+// hosts: nodes exchange deltas over TCP — virgin coverage bitmaps as
+// dirty-word deltas, corpus puzzles as journal tails with resumable
+// cursors, crash records as an idempotent dedup stream. The merge
+// semantics are exactly the in-process Fleet's (every connection speaks to
+// its local state through the same core.SyncPeer path worker engines use);
+// this package only adds framing, transport, topology, and reconnect
+// handling.
+//
+// Two topologies share one session protocol:
+//
+//   - hub/leaf: a Hub serves one campaign's shared state
+//     (core.SyncState); Leaf nodes running local fleets dial it and sync
+//     every N executions.
+//   - mesh: every Mesh node runs the hub accept loop *and* leaf-style
+//     uplinks to its peer set, so the fleet has no designated hub. Each
+//     link keeps its own peerSession (shadow bitmap, journal cursors,
+//     crash watermarks) — a vector of cursors per node, one per peer —
+//     and the handshake exchanges peer addresses, so one seed address
+//     bootstraps a whole mesh.
 //
 // # Wire protocol
 //
 // Every frame is length-prefixed: a 4-byte big-endian payload length, one
 // type byte, then the payload. Integers inside payloads are unsigned
 // varints unless noted; byte strings are a uvarint length followed by the
-// bytes. The session is strictly request/response, leaf-driven:
+// bytes. The session is strictly request/response, dialer-driven:
 //
-//	leaf → hub   hello      magic, version, node id, target, model digest,
-//	                        resume cursor into the hub journal
-//	hub → leaf   helloAck   negotiated version, hub model digest, hub id
-//	leaf → hub   sync       leaf stats, virgin delta, puzzle delta,
-//	                        crash records, hub-journal cursor
-//	hub → leaf   syncAck    virgin delta, puzzle delta (from the leaf's
-//	                        cursor), crash records, new cursor, fleet stats
-//	either side  error      human-readable reason; sender closes after
+//	dialer → acceptor   hello      magic, version, node id, target, model
+//	                               digest, resume cursor into the
+//	                               acceptor's journal, advertise address,
+//	                               known peer addresses
+//	acceptor → dialer   helloAck   negotiated version, acceptor model
+//	                               digest, acceptor id, known peer
+//	                               addresses
+//	dialer → acceptor   sync       dialer stats, virgin delta, puzzle
+//	                               delta, crash records, journal cursor
+//	acceptor → dialer   syncAck    virgin delta, puzzle delta (from the
+//	                               dialer's cursor), crash records, new
+//	                               cursor, fleet stats
+//	either side         error      human-readable reason; sender closes
 //
 // # Version negotiation
 //
-// A leaf sends the highest protocol version it speaks; the hub answers
-// with min(its own highest, the leaf's). Both sides then require the
-// negotiated version to be at least their own minimum supported version —
-// otherwise they send an error frame and close. Within this repository
-// MinProtocolVersion == ProtocolVersion == 1; the rule exists so a future
-// version bump can interoperate with older peers.
+// A dialer sends the highest protocol version it speaks; the acceptor
+// answers with min(its own highest, the dialer's). Both sides then require
+// the negotiated version to be at least their own minimum supported
+// version — otherwise they send an error frame and close. Version 2 added
+// the peer-exchange fields to hello/helloAck; this build speaks (and
+// requires) exactly version 2, so a v1 peer is refused with a clear error
+// rather than misdecoding frames.
 //
 // # Determinism
 //
@@ -40,7 +57,11 @@
 // as the in-process fleet: all exchanged state is monotonic (bitmap union,
 // never-evicting journal merges, idempotent crash absorption), so any
 // interleaving, duplication, or replay of sync windows yields the same
-// final merged state for the same executed work.
+// final merged state for the same executed work. That is also the mesh
+// convergence argument: duplicate delivery over redundant links (a puzzle
+// arriving via two paths) merges to the same state as single delivery, so
+// any connected topology — ring, star, full mesh, or one healing after a
+// partition — converges to the union of all nodes' work.
 package fleetnet
 
 import (
@@ -53,9 +74,13 @@ import (
 // for the negotiation rule.
 const (
 	// ProtocolVersion is the highest protocol version this build speaks.
-	ProtocolVersion = 1
+	// v2 added the peer-exchange fields to hello/helloAck.
+	ProtocolVersion = 2
 	// MinProtocolVersion is the lowest peer version this build accepts.
-	MinProtocolVersion = 1
+	// v1 peers are refused: their hello/helloAck layouts lack the v2
+	// peer-exchange tail, and a session negotiated below a build's wire
+	// layout would misdecode frames.
+	MinProtocolVersion = 2
 )
 
 // magic opens every hello frame; it rejects accidental connections from
