@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: ci check build vet test race fuzz alloc-guard docs-check bench-parallel bench-hotpath bench-fleetnet clean
+.PHONY: ci check build vet test race fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet clean
 
-ci: build vet test race docs-check
+ci: build vet test race docs-check api-check
 
-check: build vet race alloc-guard docs-check
+check: build vet race alloc-guard docs-check api-check
 
 build:
 	$(GO) build ./...
@@ -20,13 +20,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel campaign runner must be data-race free: every TestParallel*
-# test (core fleet, public API, crash bank concurrency) plus the
-# deadline-aware loop under -race. The fleetnet loopback suite (hub +
-# concurrent leaves) runs under -race in docs-check, which ci and check
-# both include.
+# The parallel campaign runner and the session API must be data-race
+# free: every TestParallel* test (core fleet, public API, crash bank
+# concurrency), the deadline-aware loop, and the TestStart* session suite
+# (cancellation mid-window, Stop during a mesh sync exchange,
+# double-Stop/Wait idempotence, concurrent Snapshot) under -race. The
+# fleetnet loopback suite (hub + concurrent leaves) runs under -race in
+# docs-check, which ci and check both include.
 race:
-	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil' ./internal/core ./internal/crash ./peachstar
+	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil|TestStart' ./internal/core ./internal/crash ./peachstar
 
 # Documentation gate: vet (which checks doc-comment placement pragmas),
 # a package-doc presence check over every library package, and the
@@ -54,6 +56,16 @@ docs-check:
 # within the per-exec allocation budget (see hotpath_test.go).
 alloc-guard:
 	$(GO) test -run 'TestSteadyStateExecAllocBudget' -v .
+
+# Public-API gate: the exported peachstar surface must match the golden
+# snapshot (api/peachstar.golden) and every exported symbol must carry a
+# doc comment. A deliberate API change is reviewed by regenerating the
+# golden with `make api-snapshot` and reading the diff in the commit.
+api-check:
+	$(GO) run ./cmd/apicheck
+
+api-snapshot:
+	$(GO) run ./cmd/apicheck -update
 
 # Short native-fuzz smoke runs over the crack/generate round-trip targets.
 fuzz:

@@ -1,0 +1,221 @@
+// Command apicheck pins the public API surface of the peachstar package:
+// it renders every exported symbol (constants, variables, types, their
+// exported methods, and functions) into a normalized one-line-per-symbol
+// snapshot, asserts each has a doc comment, and compares the snapshot
+// against the checked-in golden file. A diff means the public API changed
+// — deliberately or not — and the golden file must be regenerated (and
+// the change reviewed) with -update.
+//
+// The snapshot format is produced here, not by `go doc`, so it is stable
+// across Go releases.
+//
+// Usage (wired as `make api-check` / `make api-snapshot`):
+//
+//	go run ./cmd/apicheck                # verify against api/peachstar.golden
+//	go run ./cmd/apicheck -update        # regenerate the golden file
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	pkgDir := flag.String("pkg", "peachstar", "directory of the package to snapshot")
+	golden := flag.String("golden", "api/peachstar.golden", "golden snapshot file")
+	update := flag.Bool("update", false, "rewrite the golden file instead of comparing")
+	flag.Parse()
+
+	snapshot, undocumented, err := render(*pkgDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintf(os.Stderr, "apicheck: %d exported symbols lack doc comments:\n", len(undocumented))
+		for _, sym := range undocumented {
+			fmt.Fprintln(os.Stderr, "  ", sym)
+		}
+		os.Exit(1)
+	}
+	if *update {
+		if err := os.WriteFile(*golden, []byte(snapshot), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %s (%d lines)\n", *golden, strings.Count(snapshot, "\n"))
+		return
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run `make api-snapshot` to create it)\n", err)
+		os.Exit(1)
+	}
+	if string(want) == snapshot {
+		fmt.Printf("apicheck: %s API surface matches %s\n", *pkgDir, *golden)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: %s API surface differs from %s:\n", *pkgDir, *golden)
+	printDiff(os.Stderr, string(want), snapshot)
+	fmt.Fprintln(os.Stderr, "review the change, then regenerate with `make api-snapshot`")
+	os.Exit(1)
+}
+
+// render parses the package and produces the normalized snapshot plus the
+// list of exported symbols missing doc comments.
+func render(dir string) (snapshot string, undocumented []string, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(pkgs) != 1 {
+		return "", nil, fmt.Errorf("expected one package in %s, found %d", dir, len(pkgs))
+	}
+	var astPkg *ast.Package
+	for _, p := range pkgs {
+		astPkg = p
+	}
+	// doc.New reorganizes declarations into the same symbol model godoc
+	// uses: package-level consts/vars/funcs, and types with their
+	// associated consts, funcs and methods.
+	d := doc.New(astPkg, dir, 0)
+
+	var lines []string
+	note := func(kind, name string, node any, hasDoc bool) {
+		lines = append(lines, fmt.Sprintf("%s %s: %s", kind, name, exprString(fset, node)))
+		if !hasDoc {
+			undocumented = append(undocumented, kind+" "+name)
+		}
+	}
+
+	for _, v := range d.Consts {
+		constLines(fset, v, "const", note)
+	}
+	for _, v := range d.Vars {
+		constLines(fset, v, "var", note)
+	}
+	for _, f := range d.Funcs {
+		if ast.IsExported(f.Name) {
+			note("func", f.Name, f.Decl, f.Doc != "")
+		}
+	}
+	for _, t := range d.Types {
+		if ast.IsExported(t.Name) {
+			note("type", t.Name, typeSpecOf(t.Decl), t.Doc != "")
+		}
+		for _, v := range t.Consts {
+			constLines(fset, v, "const", note)
+		}
+		for _, v := range t.Vars {
+			constLines(fset, v, "var", note)
+		}
+		for _, f := range t.Funcs {
+			if ast.IsExported(f.Name) {
+				note("func", f.Name, f.Decl, f.Doc != "")
+			}
+		}
+		for _, m := range t.Methods {
+			if ast.IsExported(m.Name) {
+				note("method", t.Name+"."+m.Name, m.Decl, m.Doc != "")
+			}
+		}
+	}
+	sort.Strings(lines)
+	sort.Strings(undocumented)
+	return strings.Join(lines, "\n") + "\n", undocumented, nil
+}
+
+// constLines emits one line per exported name of a const/var block.
+func constLines(fset *token.FileSet, v *doc.Value, kind string, note func(kind, name string, node any, hasDoc bool)) {
+	for _, spec := range v.Decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if !ast.IsExported(name.Name) {
+				continue
+			}
+			// Within a block, a spec's own doc counts too (a block-level
+			// comment covers single-name blocks).
+			hasDoc := v.Doc != "" || vs.Doc.Text() != ""
+			note(kind, name.Name, vs, hasDoc)
+		}
+	}
+}
+
+// typeSpecOf digs the TypeSpec out of a type declaration.
+func typeSpecOf(decl *ast.GenDecl) any {
+	for _, spec := range decl.Specs {
+		if ts, ok := spec.(*ast.TypeSpec); ok {
+			return ts
+		}
+	}
+	return decl
+}
+
+// exprString renders an AST node on one normalized line. Struct and
+// interface bodies keep their exported field/method names so additions
+// and removals show up in the diff; doc comments inside bodies are
+// dropped by rendering the bare AST node.
+func exprString(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		// Render the signature without the body.
+		sig := *n
+		sig.Body = nil
+		sig.Doc = nil
+		printer.Fprint(&buf, fset, &sig)
+	case *ast.TypeSpec:
+		ts := *n
+		ts.Doc = nil
+		ts.Comment = nil
+		printer.Fprint(&buf, fset, &ts)
+	case *ast.ValueSpec:
+		vs := *n
+		vs.Doc = nil
+		vs.Comment = nil
+		printer.Fprint(&buf, fset, &vs)
+	default:
+		printer.Fprint(&buf, fset, node)
+	}
+	// Collapse to one line: the golden file diffs line-per-symbol.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// printDiff prints a minimal line diff (missing/extra lines, order
+// ignored is not wanted here — both sides are sorted).
+func printDiff(w *os.File, want, got string) {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintln(w, "  -", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintln(w, "  +", l)
+		}
+	}
+}

@@ -1,15 +1,21 @@
 // Command peachstar fuzzes one of the built-in ICS protocol targets with
 // either the baseline Peach strategy or the full Peach* strategy, printing
-// progress and any unique crashes found. It can also take part in a
-// distributed fleet: -serve makes this node a sync hub, -connect makes it
-// a leaf of one, and -mesh makes it a hub-less mesh node that both accepts
-// peers and uplinks to them (see the README's "Distributed campaigns" and
-// "Mesh campaigns" sections).
+// live progress from the campaign's event stream and any unique crashes
+// found. It can also take part in a distributed fleet: -serve makes this
+// node a sync hub, -connect makes it a leaf of one, and -mesh makes it a
+// hub-less mesh node that both accepts peers and uplinks to them (see the
+// README's "Distributed campaigns" and "Mesh campaigns" sections).
+//
+// The command is built on the session API: one Campaign.Start call with
+// the budget and the attachments, events consumed as they stream, SIGINT
+// mapped to Run.Stop for a graceful finish (workers stop at the next
+// merge window, attachments flush, final stats print; a second SIGINT
+// aborts hard).
 //
 // Usage:
 //
 //	peachstar -target libmodbus -strategy peachstar -execs 50000 -seed 1
-//	peachstar -target libmodbus -execs 200000 -workers 4
+//	peachstar -target libmodbus -execs 200000 -workers 4 -stats-every 20000
 //	peachstar -target libmodbus -serve :7712 -execs 0            # hub (aggregator only)
 //	peachstar -target libmodbus -connect host:7712 -seed-stream 1 -execs 100000
 //	peachstar -target libmodbus -mesh :7712 -advertise hostA:7712 -execs 100000            # mesh seed node
@@ -19,11 +25,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -34,10 +42,11 @@ func main() {
 	var (
 		target     = flag.String("target", "libmodbus", "protocol target to fuzz")
 		strategy   = flag.String("strategy", "peachstar", "peach | peachstar")
-		execs      = flag.Int("execs", 50000, "target executions to run (0 with -serve: aggregate only)")
+		execs      = flag.Int("execs", 50000, "target executions to run (0 with -serve/-mesh: relay only)")
 		seed       = flag.Uint64("seed", 1, "campaign seed (reproducible)")
 		duration   = flag.Duration("duration", 0, "wall-clock budget (overrides -execs when set)")
-		report     = flag.Int("report", 10, "number of progress reports")
+		report     = flag.Int("report", 10, "number of progress reports when -stats-every is 0")
+		statsEvery = flag.Int("stats-every", 0, "executions between live stats lines (0: derive from -report)")
 		workers    = flag.Int("workers", 1, "parallel worker engines sharing the exec budget")
 		serve      = flag.String("serve", "", "serve fleet sync to remote leaves on this host:port (hub node)")
 		connect    = flag.String("connect", "", "sync with the fleet hub at this host:port (leaf node)")
@@ -95,6 +104,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Attachments: a hub and a mesh node are created as campaign-level
+	// handles (they span the fuzzing session and the serve phase after
+	// it); the leaf handle additionally feeds fleet-wide figures into the
+	// progress lines.
+	var attach []peachstar.Attachment
 	var hub *peachstar.SyncServer
 	if *serve != "" {
 		hub, err = campaign.ServeSync(*serve)
@@ -105,7 +119,6 @@ func main() {
 		defer hub.Close()
 		fmt.Printf("serving fleet sync on %s\n", hub.Addr())
 	}
-
 	var leaf *peachstar.SyncLeaf
 	if *connect != "" {
 		leaf, err = campaign.DialSync(*connect)
@@ -114,9 +127,9 @@ func main() {
 			os.Exit(2)
 		}
 		defer leaf.Close()
+		attach = append(attach, leaf.Attachment())
 		fmt.Printf("syncing with fleet hub at %s (every %d execs)\n", *connect, *syncEvery)
 	}
-
 	var mnode *peachstar.MeshNode
 	if *mesh != "" {
 		var peerList []string
@@ -135,88 +148,135 @@ func main() {
 			os.Exit(2)
 		}
 		defer mnode.Close()
+		attach = append(attach, mnode.Attachment())
 		fmt.Printf("mesh node on %s (%d bootstrap peers, syncing every %d execs)\n",
 			mnode.Addr(), len(peerList), *syncEvery)
 	}
 
-	fmt.Printf("fuzzing %s with %s (seed %d, stream %d, %d workers)\n",
-		*target, strat, *seed, *seedStream, campaign.Workers())
+	// SIGINT → graceful Stop of whichever session is live — and no
+	// further phases: an interrupt during the fuzzing phase of a hub or
+	// mesh node must fall through to the final stats, not into the
+	// serve-forever phase. A second SIGINT exits hard. The mutex makes
+	// "interrupted" and "which run is live" one atomic state, so a
+	// signal can never slip between phases unobserved.
+	var (
+		mu          sync.Mutex
+		live        *peachstar.Run
+		interrupted bool
+	)
+	// beginPhase installs r as the live session unless an interrupt
+	// already landed, in which case the phase is skipped (r is stopped).
+	beginPhase := func(r *peachstar.Run) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if interrupted {
+			r.Stop()
+			return false
+		}
+		live = r
+		return true
+	}
+	keepServing := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return !interrupted
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "\ninterrupt: stopping at the next merge window (interrupt again to abort)")
+		mu.Lock()
+		interrupted = true
+		if live != nil {
+			live.Stop()
+		}
+		mu.Unlock()
+		<-sig
+		os.Exit(130)
+	}()
+
 	start := time.Now()
-	switch {
-	case *duration > 0:
-		// Deadline-aware run: the deadline is checked inside every
-		// worker's loop, so the campaign stops within one iteration of
-		// the budget instead of rounding up to a full exec slice.
-		deadline := start.Add(*duration)
-		interval := *duration
-		if *report > 0 {
-			interval = *duration / time.Duration(*report)
+	fuzzing := *execs > 0 || *duration > 0
+	if fuzzing {
+		cfg := peachstar.RunConfig{
+			Execs:      *execs,
+			Duration:   *duration,
+			SyncEvery:  *syncEvery,
+			StatsEvery: *statsEvery,
+			Attach:     attach,
 		}
-		if interval <= 0 {
-			interval = *duration
-		}
-		for next := start.Add(interval); time.Now().Before(deadline); next = next.Add(interval) {
-			if next.After(deadline) {
-				next = deadline
+		// Derive the stats cadence from the budget actually in force:
+		// exec-budget runs report every execs/report executions; duration
+		// runs report every duration/report of wall clock (a ticker below
+		// — the exec total is unknowable up front), unless -stats-every
+		// pins an execution cadence explicitly.
+		var reportTick time.Duration
+		if *duration > 0 {
+			cfg.Execs = 0 // wall clock overrides the exec budget
+			if *statsEvery == 0 {
+				cfg.StatsEvery = -1 // no exec-based stats; ticker instead
+				if *report > 0 {
+					reportTick = *duration / time.Duration(*report)
+				}
+				if reportTick <= 0 {
+					reportTick = *duration
+				}
 			}
-			switch {
-			case leaf != nil:
-				if err := leaf.RunSyncedUntil(next, *syncEvery); err != nil {
-					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
-				}
-			case mnode != nil:
-				if err := mnode.RunSyncedUntil(next, *syncEvery); err != nil {
-					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
-				}
-			default:
-				campaign.RunUntil(next)
+		} else if *statsEvery == 0 {
+			if *report > 0 {
+				cfg.StatsEvery = *execs / *report
 			}
-			printProgress(campaign, leaf, mnode, hub, start)
-		}
-	case *execs > 0:
-		per := *execs / *report
-		if per < 1 {
-			per = 1
-		}
-		for done := per; done <= *execs; done += per {
-			switch {
-			case leaf != nil:
-				if err := leaf.RunSynced(done, *syncEvery); err != nil {
-					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
-				}
-			case mnode != nil:
-				if err := mnode.RunSynced(done, *syncEvery); err != nil {
-					fmt.Fprintf(os.Stderr, "sync: %v (continuing locally)\n", err)
-				}
-			default:
-				campaign.Run(done)
+			if cfg.StatsEvery < 1 {
+				cfg.StatsEvery = peachstar.DefaultStatsEvery
 			}
-			printProgress(campaign, leaf, mnode, hub, start)
+		}
+		fmt.Printf("fuzzing %s with %s (seed %d, stream %d, %d workers)\n",
+			*target, strat, *seed, *seedStream, campaign.Workers())
+		r, err := campaign.Start(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		beginPhase(r)
+		if reportTick > 0 {
+			go func() {
+				t := time.NewTicker(reportTick)
+				defer t.Stop()
+				for {
+					select {
+					case <-r.Done():
+						return
+					case <-t.C:
+						printStatsLine(r.Snapshot(), leaf, mnode, hub, start)
+					}
+				}
+			}()
+		}
+		printEvents(r, leaf, mnode, hub, start)
+		if err := r.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "session ended with: %v\n", err)
 		}
 	}
 
-	if hub != nil || mnode != nil {
+	if (hub != nil || mnode != nil) && keepServing() {
 		// Hub and mesh nodes outlive their own budget: keep serving (and,
-		// for a mesh node, relaying between peers) until interrupted,
-		// reporting periodically. A -mesh -execs 0 node is a pure relay.
+		// for a mesh node, relaying between peers) until interrupted. A
+		// node with -execs 0 is a pure relay.
 		fmt.Println("local budget spent; serving fleet sync until interrupted (Ctrl-C)")
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		tick := time.NewTicker(5 * time.Second)
-		defer tick.Stop()
-	serveLoop:
-		for {
-			select {
-			case <-sig:
-				break serveLoop
-			case <-tick.C:
-				if mnode != nil {
-					if err := mnode.Sync(); err != nil {
-						fmt.Fprintf(os.Stderr, "sync: %v (continuing)\n", err)
-					}
-				}
-				printProgress(campaign, nil, mnode, hub, start)
-			}
+		r, err := campaign.Start(context.Background(), peachstar.RunConfig{
+			RelayOnly: true,
+			Attach:    attach,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if beginPhase(r) {
+			printEvents(r, leaf, mnode, hub, start)
+		}
+		if err := r.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve session ended with: %v\n", err)
 		}
 	}
 
@@ -229,8 +289,28 @@ func main() {
 	}
 }
 
-func printProgress(c *peachstar.Campaign, leaf *peachstar.SyncLeaf, mnode *peachstar.MeshNode, hub *peachstar.SyncServer, start time.Time) {
-	s := c.Stats()
+// printEvents consumes one session's event stream to the terminal: a
+// progress line per StatsEvent, a discovery line per crash, sync failures
+// as they happen. It returns when the session ends and the stream closes.
+func printEvents(r *peachstar.Run, leaf *peachstar.SyncLeaf, mnode *peachstar.MeshNode, hub *peachstar.SyncServer, start time.Time) {
+	for ev := range r.Events() {
+		switch ev := ev.(type) {
+		case peachstar.StatsEvent:
+			printStatsLine(ev.Stats, leaf, mnode, hub, start)
+		case peachstar.CrashEvent:
+			fmt.Printf("%8.1fs  NEW CRASH: %s at %s (worker %d)\n  packet: %x\n",
+				time.Since(start).Seconds(), ev.Record.Kind, ev.Record.Site, ev.Worker, ev.Record.Example)
+		case peachstar.SyncWindowEvent:
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "sync %s %s: %v (continuing locally)\n", ev.Attachment, ev.Addr, ev.Err)
+			}
+		}
+	}
+}
+
+// printStatsLine renders one progress line from a snapshot, with the
+// fleet-, mesh-, or hub-side figures appended when those handles exist.
+func printStatsLine(s peachstar.Stats, leaf *peachstar.SyncLeaf, mnode *peachstar.MeshNode, hub *peachstar.SyncServer, start time.Time) {
 	line := fmt.Sprintf("%8.1fs  execs %8d  paths %5d  edges %5d  crashes %3d  corpus %5d",
 		time.Since(start).Seconds(), s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
 	if leaf != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -142,7 +143,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	campaign.Run(20000)
+	run, err := campaign.Start(context.Background(), peachstar.RunConfig{Execs: 20000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		log.Fatal(err)
+	}
 
 	s := campaign.Stats()
 	fmt.Printf("after %d execs: %d paths, %d edges, %d puzzles in the corpus\n",

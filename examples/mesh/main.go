@@ -6,10 +6,15 @@
 // below runs as its own `peachstar -mesh` process on its own machine; the
 // protocol is identical.
 //
+// Each node's campaign runs as one Campaign.Start session with its mesh
+// membership attached; the node handles are kept across sessions for the
+// settlement rounds.
+//
 //	go run ./examples/mesh [-execs N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -67,16 +72,26 @@ func main() {
 	}
 
 	// Run all three nodes concurrently, each spending a third of the
-	// budget and syncing with its peers every 1024 executions.
+	// budget and syncing with its peers every 1024 executions: one
+	// session per node, the mesh node attached borrowed (WithMesh would
+	// instead create a node owned by — and closed with — the session).
 	var wg sync.WaitGroup
 	for _, n := range nodes {
+		run, err := n.campaign.Start(context.Background(), peachstar.RunConfig{
+			Execs:     *execs / 3,
+			SyncEvery: 1024,
+			Attach:    []peachstar.Attachment{n.mesh.Attachment()},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		wg.Add(1)
-		go func(n *node) {
+		go func(n *node, run *peachstar.Run) {
 			defer wg.Done()
-			if err := n.mesh.RunSynced(*execs/3, 1024); err != nil {
+			if err := run.Wait(); err != nil {
 				log.Printf("%s: %v", n.name, err)
 			}
-		}(n)
+		}(n, run)
 	}
 	wg.Wait()
 

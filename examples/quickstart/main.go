@@ -1,10 +1,12 @@
 // Quickstart: fuzz the libmodbus target with Peach* for a fixed execution
-// budget and print what the campaign found.
+// budget, watching the campaign's typed event stream, and print what it
+// found.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,12 +30,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Fuzz in slices so progress is visible.
-	for _, budget := range []int{5000, 10000, 20000, 40000} {
-		campaign.Run(budget)
-		s := campaign.Stats()
-		fmt.Printf("execs %6d: %3d paths, %3d edges, %d unique crashes, %4d puzzles\n",
-			s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+	// Start one session for the whole budget. The returned Run is a live
+	// handle: its event stream reports progress, new coverage and crashes
+	// as they happen, and closes when the budget is spent — so ranging
+	// over it doubles as the wait. (Campaign.Run(40000) would do the same
+	// without the live view; ctx cancellation or run.Stop() would end the
+	// session early.)
+	run, err := campaign.Start(context.Background(), peachstar.RunConfig{
+		Execs:      40000,
+		StatsEvery: 10000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ev := range run.Events() {
+		switch ev := ev.(type) {
+		case peachstar.StatsEvent:
+			s := ev.Stats
+			fmt.Printf("execs %6d: %3d paths, %3d edges, %d unique crashes, %4d puzzles\n",
+				s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+		case peachstar.CrashEvent:
+			fmt.Printf("crash found: %s in %s\n", ev.Record.Kind, ev.Record.Site)
+		}
+	}
+	if err := run.Wait(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Report unique faults, ASan-style.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,13 @@ func audit(project string, strategy peachstar.Strategy, budget int, seed uint64)
 	if err != nil {
 		log.Fatal(err)
 	}
-	campaign.Run(budget)
+	run, err := campaign.Start(context.Background(), peachstar.RunConfig{Execs: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		log.Fatal(err)
+	}
 	return campaign.Crashes()
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +65,12 @@ type Fleet struct {
 	// discoveries reach the workers: they arrive in the shared state and
 	// the workers' next pull folds them out.
 	state *SyncState
+	// pubEdges and pubCorpus are the fleet-level published union figures,
+	// refreshed at every merge window (see driver.go); with the workers'
+	// published counters they are what StatsApprox reads while a Drive is
+	// in flight.
+	pubEdges  int64
+	pubCorpus int64
 }
 
 // workerPeer adapts one worker engine to the SyncPeer merge path. It holds
@@ -87,6 +92,17 @@ type workerPeer struct {
 	// node building acks on handler goroutines) can read fleet progress
 	// without touching the workers' live counters. See Fleet.ExecsApprox.
 	execsPub int64
+	// The remaining published counters feed Fleet.StatsApprox the same
+	// way: stored by the worker at each window boundary, loaded by any
+	// goroutine.
+	pathsPub    int64
+	itersPub    int64
+	semExecsPub int64
+	semPathsPub int64
+	// crashesSeen is the driver's per-worker crash watermark: how many of
+	// this worker's unique records previous windows already reported
+	// through the WindowHook. Touched only by the worker's own goroutine.
+	crashesSeen int
 }
 
 // Exchange is the local half of the merge protocol (invoked under the
@@ -223,34 +239,13 @@ func (f *Fleet) Step() int { return f.workers[0].Step() }
 // Run fuzzes until at least execBudget total executions have been performed,
 // sharding the remaining budget evenly across the workers. It may be called
 // repeatedly to extend a campaign. With one worker it is the serial
-// Engine.Run, sync-free and bit-for-bit reproducible against it.
+// Engine.Run, sync-free and bit-for-bit reproducible against it. Run is
+// Drive with no cancellation and no observer; see driver.go for the loop.
 func (f *Fleet) Run(execBudget int) {
-	defer f.publishExecs()
-	if len(f.workers) == 1 {
-		f.workers[0].Run(execBudget)
-		return
+	if execBudget <= 0 {
+		return // a zero Budget.Execs would mean "unbounded", not "spent"
 	}
-	remaining := execBudget - f.Execs()
-	if remaining <= 0 {
-		return
-	}
-	n := len(f.workers)
-	var wg sync.WaitGroup
-	for i, w := range f.workers {
-		shard := remaining / n
-		if i < remaining%n {
-			shard++
-		}
-		if shard == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w *Engine, i, target int) {
-			defer wg.Done()
-			f.runWorker(w, i, target)
-		}(w, i, w.stats.Execs+shard)
-	}
-	wg.Wait()
+	f.Drive(nil, Budget{Execs: execBudget}, nil)
 }
 
 // RunUntil fuzzes until the wall-clock deadline, checking it inside each
@@ -261,53 +256,10 @@ func (f *Fleet) Run(execBudget int) {
 // syncs (matching Run), which is why Stats, Corpus and Crashes read the
 // lone engine directly rather than the shared state.
 func (f *Fleet) RunUntil(deadline time.Time) {
-	defer f.publishExecs()
-	if len(f.workers) == 1 {
-		w := f.workers[0]
-		for time.Now().Before(deadline) {
-			w.Step()
-		}
-		return
+	if deadline.IsZero() {
+		return // a zero Budget.Deadline would mean "no deadline"
 	}
-	var wg sync.WaitGroup
-	for i, w := range f.workers {
-		wg.Add(1)
-		go func(w *Engine, i int) {
-			defer wg.Done()
-			for time.Now().Before(deadline) {
-				window := w.stats.Execs + f.merge
-				for w.stats.Execs < window && time.Now().Before(deadline) {
-					w.Step()
-				}
-				f.sync(w, i)
-			}
-		}(w, i)
-	}
-	wg.Wait()
-}
-
-// runWorker drives one engine to its exec target, pausing every merge window
-// to exchange state with the rest of the fleet.
-func (f *Fleet) runWorker(w *Engine, i, target int) {
-	for w.stats.Execs < target {
-		window := w.stats.Execs + f.merge
-		if window > target {
-			window = target
-		}
-		for w.stats.Execs < window {
-			w.Step()
-		}
-		f.sync(w, i)
-	}
-}
-
-// sync runs one batched merge window for worker i — see workerPeer.Exchange
-// for the protocol. Corpus exchange is journal-delta based: each direction
-// replays only the puzzles accepted since this worker's previous window
-// (the worker's pull also skips its own just-pushed entries via dedup), so
-// a window costs O(new puzzles), not O(corpus).
-func (f *Fleet) sync(w *Engine, i int) {
-	f.state.Exchange(f.peers[i])
+	f.Drive(nil, Budget{Deadline: deadline}, nil)
 }
 
 // Stats aggregates the campaign snapshot across workers: execution and path

@@ -326,3 +326,30 @@ func TestParallelExecsApprox(t *testing.T) {
 		t.Fatalf("single-worker ExecsApprox = %d, Execs = %d", got, want)
 	}
 }
+
+// TestParallelRunBudgetSmallerThanWorkers: a budget that leaves some
+// workers a zero shard must still terminate — those workers' absolute
+// target equals their current count and they return without fuzzing,
+// exactly as the pre-driver Run skipped them. (Regression: a zero
+// target once meant "unbounded" and hung the fleet.)
+func TestParallelRunBudgetSmallerThanWorkers(t *testing.T) {
+	f := newFleet(t, 4, 0, 7)
+	done := make(chan struct{})
+	go func() {
+		f.Run(2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run(2) with 4 workers never returned")
+	}
+	if got := f.Execs(); got < 2 {
+		t.Fatalf("execs = %d, want >= 2", got)
+	}
+	// Extending the same fleet afterwards must still work.
+	f.Run(600)
+	if got := f.Execs(); got < 600 {
+		t.Fatalf("execs after extension = %d, want >= 600", got)
+	}
+}

@@ -70,13 +70,14 @@ func (e *Engine) skeleton(m *datamodel.Model) *datamodel.Node {
 }
 
 // mutateLeaf rewrites one leaf's bytes with a randomly selected applicable
-// mutator.
+// mutator. The new bytes come from the engine arena and live exactly as
+// long as the instance tree they are written into — one generation round.
 func (e *Engine) mutateLeaf(leaf *datamodel.Node) {
 	mut := mutator.Pick(e.r, e.muts, leaf.Chunk)
 	if mut == nil {
 		return
 	}
-	leaf.Data = mut.Mutate(e.r, leaf.Chunk, leaf.Data)
+	leaf.Data = mut.Mutate(e.r, leaf.Chunk, leaf.Data, &e.arena)
 }
 
 // semanticGenerate implements Algorithm 3: construct a batch of seeds for

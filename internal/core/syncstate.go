@@ -84,6 +84,14 @@ func (s *SyncState) Edges() int {
 	return s.virgin.Edges()
 }
 
+// Figures returns the union edge count and corpus size under one lock
+// acquisition — the per-window publication read of the fleet driver.
+func (s *SyncState) Figures() (edges, corpusLen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.virgin.Edges(), s.corp.Len()
+}
+
 // CorpusLen returns the number of puzzles in the shared corpus.
 func (s *SyncState) CorpusLen() int {
 	s.mu.Lock()

@@ -1,0 +1,40 @@
+package fleetnet
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// This file is the context-cancellation glue for the wire layer. The
+// protocol code reads and writes whole frames under per-frame deadlines;
+// contexts add a second, caller-owned way out, so a canceled campaign
+// tears its sessions down in the time it takes a blocked read to notice —
+// not in a full frame timeout.
+
+// watchContext arranges for a cancellation of ctx to interrupt any frame
+// I/O blocked on conn, by yanking the connection's deadline into the past
+// (the blocked read or write returns a timeout error, the caller's error
+// path resets the session, and the session's next use redials). The
+// returned release function stops the watch and must be called before the
+// connection's next legitimate deadline is set; contexts that can never
+// be canceled cost nothing.
+func watchContext(ctx context.Context, conn net.Conn) (release func()) {
+	if conn == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now())
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}

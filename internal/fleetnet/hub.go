@@ -1,6 +1,7 @@
 package fleetnet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -98,7 +99,10 @@ type Hub struct {
 	conns  map[net.Conn]struct{}
 	leaves map[string]*remoteLeaf
 	closed bool
-	wg     sync.WaitGroup
+	// done closes when the hub does — the signal context watchers and
+	// other background observers select on.
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // remoteLeaf is the hub's per-peer accounting, keyed by the peer's
@@ -136,7 +140,37 @@ func NewHub(cfg HubConfig) (*Hub, error) {
 		digest: ModelDigest(cfg.Target, cfg.Models),
 		conns:  make(map[net.Conn]struct{}),
 		leaves: make(map[string]*remoteLeaf),
+		done:   make(chan struct{}),
 	}, nil
+}
+
+// ListenAndServeContext is ListenAndServe scoped to a context: when ctx
+// is canceled the hub closes itself — the listener stops accepting and
+// every connected peer is dropped mid-read rather than waiting out its
+// frame timeout. The public Run API serves hub attachments through this,
+// which is what makes `context cancel` tear a whole fleet node down
+// promptly.
+func (h *Hub) ListenAndServeContext(ctx context.Context, addr string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := h.ListenAndServe(addr); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		return nil
+	}
+	// Deliberately outside h.wg: the watcher itself calls Close, which
+	// waits on h.wg — membership would deadlock. It exits as soon as the
+	// hub closes for any reason.
+	go func() {
+		select {
+		case <-ctx.Done():
+			h.Close()
+		case <-h.done:
+		}
+	}()
+	return nil
 }
 
 // ListenAndServe listens on addr (host:port; ":0" picks a free port) and
@@ -171,11 +205,16 @@ func (h *Hub) Addr() string {
 }
 
 // Close stops accepting, disconnects every peer, and waits for the
-// connection handlers to drain. The shared state keeps everything already
-// merged; a restarted hub on the same state resumes cleanly.
+// connection handlers to drain. Safe to call more than once (a
+// context-scoped hub may race its watcher's Close against the caller's).
+// The shared state keeps everything already merged; a restarted hub on
+// the same state resumes cleanly.
 func (h *Hub) Close() error {
 	h.mu.Lock()
-	h.closed = true
+	if !h.closed {
+		h.closed = true
+		close(h.done)
+	}
 	ln := h.ln
 	for c := range h.conns {
 		c.Close()

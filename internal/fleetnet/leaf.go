@@ -1,9 +1,11 @@
 package fleetnet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +73,9 @@ type Leaf struct {
 	session *peerSession
 
 	// Fleet-wide figures from the latest ack, for progress displays.
+	// Guarded by statsMu: FleetStats is documented safe to call from a
+	// display goroutine while the driving goroutine syncs.
+	statsMu                        sync.Mutex
 	fleetExecs, fleetEdges, leaves int
 	synced                         bool
 
@@ -123,15 +128,28 @@ func NewLeaf(cfg LeafConfig) (*Leaf, error) {
 // any failure the session is reset (the next Sync redials and re-pushes
 // from scratch; all exchanged state merges idempotently) and the error is
 // returned for logging — a leaf should keep fuzzing regardless.
-func (l *Leaf) Sync() error {
+func (l *Leaf) Sync() error { return l.SyncContext(context.Background()) }
+
+// SyncContext is Sync under a context: an already-canceled context skips
+// the exchange entirely, and a cancellation that lands mid-window
+// interrupts the dial and any blocked frame I/O promptly (the session
+// resets, exactly like a transport failure) instead of waiting out the
+// frame timeout — what makes session teardown prompt for the public
+// Run API.
+func (l *Leaf) SyncContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.cfg.Fleet.SyncAll()
 	if l.conn == nil {
-		if err := l.dial(); err != nil {
+		if err := l.dial(ctx); err != nil {
 			return err
 		}
 	}
+	unwatch := watchContext(ctx, l.conn)
+	defer unwatch()
 	req := l.buildPush()
-	ack, err := l.roundTrip(req)
+	ack, err := l.roundTrip(ctx, req)
 	if err != nil {
 		l.reset()
 		return err
@@ -140,8 +158,10 @@ func (l *Leaf) Sync() error {
 		l.reset()
 		return err
 	}
+	l.statsMu.Lock()
 	l.fleetExecs, l.fleetEdges, l.leaves = int(ack.fleetExecs), int(ack.fleetEdges), int(ack.leaves)
 	l.synced = true
+	l.statsMu.Unlock()
 
 	l.cfg.Fleet.SyncAll()
 	return nil
@@ -171,8 +191,15 @@ func (l *Leaf) buildPush() *syncFrame {
 }
 
 // roundTrip ships one push and reads the reply, accounting wire traffic.
-func (l *Leaf) roundTrip(req *syncFrame) (*syncAckFrame, error) {
+func (l *Leaf) roundTrip(ctx context.Context, req *syncFrame) (*syncAckFrame, error) {
 	l.conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
+	// The deadline store above can overwrite the context watcher's yank if
+	// the cancellation landed while the push was being built; re-checking
+	// after the store closes that window (a cancel after this check finds
+	// the fresh deadline in place and yanks it normally).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	push := req.encode(nil)
 	l.txBytes += len(push) + 5 // frame header + type byte
 	if err := writeFrame(l.conn, frameSync, push); err != nil {
@@ -206,12 +233,16 @@ func (l *Leaf) applyAck(ack *syncAckFrame) error {
 	return nil
 }
 
-// dial connects and handshakes.
-func (l *Leaf) dial() error {
-	conn, err := net.DialTimeout("tcp", l.cfg.Addr, l.cfg.DialTimeout)
+// dial connects and handshakes. The context interrupts both the TCP
+// connect and the handshake frames.
+func (l *Leaf) dial(ctx context.Context) error {
+	d := net.Dialer{Timeout: l.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", l.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("fleetnet: dial %s: %w", l.cfg.Addr, err)
 	}
+	unwatch := watchContext(ctx, conn)
+	defer unwatch()
 	hello := &helloFrame{
 		version:      ProtocolVersion,
 		nodeID:       l.cfg.NodeID,
@@ -224,6 +255,12 @@ func (l *Leaf) dial() error {
 		hello.peers = l.cfg.KnownPeers()
 	}
 	conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
+	// Same deadline-vs-cancel window as roundTrip: the store above could
+	// have buried a cancellation that landed while hello was assembled.
+	if err := ctx.Err(); err != nil {
+		conn.Close()
+		return err
+	}
 	if err := writeFrame(conn, frameHello, hello.encode(nil)); err != nil {
 		conn.Close()
 		return fmt.Errorf("fleetnet: send hello: %w", err)
@@ -297,6 +334,9 @@ func (l *Leaf) Close() error {
 	return nil
 }
 
+// Addr returns the remote address this leaf dials.
+func (l *Leaf) Addr() string { return l.cfg.Addr }
+
 // Connected reports whether a session is currently established.
 func (l *Leaf) Connected() bool { return l.conn != nil }
 
@@ -307,8 +347,13 @@ func (l *Leaf) Traffic() (tx, rx int) { return l.txBytes, l.rxBytes }
 
 // FleetStats returns the fleet-wide figures from the latest ack — total
 // executions the remote knows of, distinct edges in its union map, and
-// its connected peers — and whether any ack has arrived yet.
+// its connected peers — and whether any ack has arrived yet. Unlike the
+// leaf's other methods it is safe to call from any goroutine while the
+// driving goroutine syncs (progress displays consume it from event
+// loops).
 func (l *Leaf) FleetStats() (execs, edges, leaves int, ok bool) {
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
 	return l.fleetExecs, l.fleetEdges, l.leaves, l.synced
 }
 
@@ -328,32 +373,6 @@ func (l *Leaf) Run(execBudget, syncEvery int) error {
 			window = execBudget
 		}
 		fleet.Run(window)
-		if err := l.Sync(); err != nil {
-			l.cfg.Logf("fleetnet leaf: sync: %v (continuing locally)", err)
-		}
-	}
-	return l.Sync()
-}
-
-// RunUntil is Run with a wall-clock deadline instead of an exec budget:
-// the same syncEvery execution cadence between syncs, stopping within
-// one merge-window slice (≤256 execs) of the deadline.
-func (l *Leaf) RunUntil(deadline time.Time, syncEvery int) error {
-	if syncEvery <= 0 {
-		syncEvery = 4 * core.DefaultMergeEvery
-	}
-	fleet := l.cfg.Fleet
-	for time.Now().Before(deadline) {
-		window := fleet.Execs() + syncEvery
-		// Advance in merge-window slices so the deadline is re-checked
-		// every ≤256 execs rather than once per sync window.
-		for fleet.Execs() < window && time.Now().Before(deadline) {
-			slice := fleet.Execs() + core.DefaultMergeEvery
-			if slice > window {
-				slice = window
-			}
-			fleet.Run(slice)
-		}
 		if err := l.Sync(); err != nil {
 			l.cfg.Logf("fleetnet leaf: sync: %v (continuing locally)", err)
 		}

@@ -2,6 +2,7 @@ package fleetnet
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -131,7 +132,7 @@ func TestResumeCursorPinsCompactionFromHandshake(t *testing.T) {
 
 	// Handshake only — no sync yet. The resume cursor alone must pin
 	// compaction at 3 while another peer races ahead and compacts.
-	if err := leafX.dial(); err != nil {
+	if err := leafX.dial(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := leafY.Sync(); err != nil {
@@ -222,13 +223,13 @@ func TestNoEchoOfAbsorbedPuzzlesUnderInterleave(t *testing.T) {
 	// the frames are in flight — in production an inbound mesh session or
 	// a worker flush appends to the shared journal exactly there.
 	fleet.SyncAll()
-	if err := leaf.dial(); err != nil {
+	if err := leaf.dial(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	req := leaf.buildPush()
 	local := corpus.Puzzle{Signature: "local-sig", Data: []byte{1, 2, 3, 4}, Model: "m"}
 	injectPuzzle(fleet.State(), local)
-	ack, err := leaf.roundTrip(req)
+	ack, err := leaf.roundTrip(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package fleetnet
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -77,9 +78,11 @@ type MeshConfig struct {
 // links keep the campaign converging; sync bandwidth scales with links,
 // not through one box.
 //
-// Sync, Run, RunUntil and Close must be called from the fleet's driving
-// goroutine; the accept loop and its handlers run in the background like a
-// Hub's.
+// Sync, Run and Close must be called from the fleet's driving goroutine;
+// the accept loop and its handlers run in the background like a Hub's.
+// (Deadline-bounded runs live in the public session driver,
+// peachstar.Campaign.Start, which alternates core.Fleet.Drive windows
+// with Mesh.SyncContext.)
 type Mesh struct {
 	cfg MeshConfig
 	hub *Hub
@@ -99,6 +102,10 @@ type Mesh struct {
 	// localExecs is the node's own execution count as of the last window,
 	// published for handler goroutines building acks.
 	localExecs int64
+	// pubUplinks is the connected-uplink count as of the last sync round,
+	// published so PeerStats can be read from display goroutines without
+	// touching the driving goroutine's uplink map.
+	pubUplinks int64
 }
 
 // meshUplink is one outbound link plus its retry accounting.
@@ -298,7 +305,18 @@ func (m *Mesh) ensureUplinks() {
 // eventually forgotten — and the first error is returned for logging;
 // inbound sessions sync themselves through the accept loop. The node's
 // fleet must not be running (call between Run windows, like Leaf.Sync).
-func (m *Mesh) Sync() error {
+func (m *Mesh) Sync() error { return m.SyncContext(context.Background()) }
+
+// SyncContext is Sync under a context: cancellation interrupts the uplink
+// in flight (dial included) and skips the remaining uplinks of the round,
+// so a canceled campaign leaves a mesh within one link exchange instead
+// of finishing a full round against every peer. The context's error is
+// returned once it fires; link errors keep their first-error-for-logging
+// semantics.
+func (m *Mesh) SyncContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	atomic.StoreInt64(&m.localExecs, int64(m.cfg.Fleet.Execs()))
 	// Flush the workers into the shared state before (and independent of)
 	// any uplink exchange: a node whose links all point inward — the seed
@@ -316,15 +334,23 @@ func (m *Mesh) Sync() error {
 	sort.Strings(addrs)
 	var firstErr error
 	for _, addr := range addrs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		u := m.uplinks[addr]
 		if !u.leaf.Connected() && u.skip > 0 {
 			u.skip-- // back off a dead peer's redial; don't stall the round
 			continue
 		}
-		err := u.leaf.Sync()
+		err := u.leaf.SyncContext(ctx)
 		if err == nil {
 			u.fails, u.skip = 0, 0
 			continue
+		}
+		if ctx.Err() != nil {
+			// The campaign was canceled, not the peer: no failure is
+			// charged against the link.
+			return ctx.Err()
 		}
 		u.fails++
 		u.skip = u.fails
@@ -340,7 +366,21 @@ func (m *Mesh) Sync() error {
 			m.forgetPeer(addr)
 		}
 	}
+	m.publishUplinks()
 	return firstErr
+}
+
+// publishUplinks refreshes the connected-uplink count PeerStats reads.
+// Called from the driving goroutine at the end of a sync round (and on
+// teardown), where the uplink map is safe to walk.
+func (m *Mesh) publishUplinks() {
+	n := 0
+	for _, u := range m.uplinks {
+		if u.leaf.Connected() {
+			n++
+		}
+	}
+	atomic.StoreInt64(&m.pubUplinks, int64(n))
 }
 
 // pruneDuplicateLinks resolves the bootstrap race where both sides of a
@@ -403,37 +443,13 @@ func (m *Mesh) Run(execBudget, syncEvery int) error {
 	return m.Sync()
 }
 
-// RunUntil is Run with a wall-clock deadline instead of an exec budget,
-// stopping within one merge-window slice (≤256 execs) of the deadline.
-func (m *Mesh) RunUntil(deadline time.Time, syncEvery int) error {
-	if syncEvery <= 0 {
-		syncEvery = 4 * core.DefaultMergeEvery
-	}
-	fleet := m.cfg.Fleet
-	for time.Now().Before(deadline) {
-		window := fleet.Execs() + syncEvery
-		for fleet.Execs() < window && time.Now().Before(deadline) {
-			slice := fleet.Execs() + core.DefaultMergeEvery
-			if slice > window {
-				slice = window
-			}
-			fleet.Run(slice)
-		}
-		if err := m.Sync(); err != nil {
-			m.cfg.Logf("fleetnet mesh %s: sync: %v (continuing locally)", m.cfg.NodeID, err)
-		}
-	}
-	return m.Sync()
-}
-
-// PeerStats reports the node's connectivity: connected uplinks, connected
-// inbound sessions, and the size of the peer book (static + learned).
+// PeerStats reports the node's connectivity: connected uplinks (as of
+// the latest sync round), connected inbound sessions, and the size of
+// the peer book (static + learned). Safe to call from any goroutine —
+// progress displays consume it from event loops while the driving
+// goroutine syncs.
 func (m *Mesh) PeerStats() (uplinks, inbound, known int) {
-	for _, u := range m.uplinks {
-		if u.leaf.Connected() {
-			uplinks++
-		}
-	}
+	uplinks = int(atomic.LoadInt64(&m.pubUplinks))
 	_, _, inbound = m.hub.RemoteStats()
 	m.mu.Lock()
 	known = len(m.known)
@@ -471,5 +487,6 @@ func (m *Mesh) Close() error {
 	for addr, u := range m.uplinks {
 		m.dropUplink(addr, u)
 	}
+	m.publishUplinks()
 	return m.hub.Close()
 }

@@ -20,8 +20,15 @@ type Mutator interface {
 	Name() string
 	// Applies reports whether the mutator can handle the chunk.
 	Applies(c *datamodel.Chunk) bool
-	// Mutate returns new wire bytes for the chunk.
-	Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte
+	// Mutate returns new wire bytes for the chunk, allocated from a when
+	// possible: on the engine's hot path the returned slice lives only
+	// until the arena's next Reset (one generation round), which is the
+	// lifetime of the instance tree it is written into — anything that
+	// retains longer must copy. A nil arena degrades to plain heap
+	// allocation (the datamodel.Arena contract), so standalone use needs
+	// no setup. Mutate never writes through prev, which may itself be
+	// arena-backed or a read-only corpus alias.
+	Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte, a *datamodel.Arena) []byte
 }
 
 // interestingU64 are boundary values mutation-based fuzzers have found
@@ -47,14 +54,14 @@ func (NumberRandom) Name() string { return "NumberRandom" }
 func (NumberRandom) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
 
 // Mutate implements Mutator.
-func (NumberRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
+func (NumberRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte, a *datamodel.Arena) []byte {
 	var v uint64
 	if len(c.Legal) > 0 && !r.Chance(8) {
 		v = rng.Pick(r, c.Legal)
 	} else {
 		v = r.Uint64() & mask(c.Width)
 	}
-	return encode(v, c)
+	return encode(a, v, c)
 }
 
 // NumberEdgeCase picks one of the interesting boundary values, truncated to
@@ -68,8 +75,8 @@ func (NumberEdgeCase) Name() string { return "NumberEdgeCase" }
 func (NumberEdgeCase) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
 
 // Mutate implements Mutator.
-func (NumberEdgeCase) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
-	return encode(rng.Pick(r, interestingU64)&mask(c.Width), c)
+func (NumberEdgeCase) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte, a *datamodel.Arena) []byte {
+	return encode(a, rng.Pick(r, interestingU64)&mask(c.Width), c)
 }
 
 // NumberDeltaFromDefault perturbs the default (or previous) value by a small
@@ -83,7 +90,7 @@ func (NumberDeltaFromDefault) Name() string { return "NumberDeltaFromDefault" }
 func (NumberDeltaFromDefault) Applies(c *datamodel.Chunk) bool { return c.Kind == datamodel.Number }
 
 // Mutate implements Mutator.
-func (NumberDeltaFromDefault) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+func (NumberDeltaFromDefault) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte, a *datamodel.Arena) []byte {
 	base := c.Default
 	if prev != nil {
 		base = decode(prev, c)
@@ -94,7 +101,7 @@ func (NumberDeltaFromDefault) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte
 	} else {
 		base -= delta
 	}
-	return encode(base&mask(c.Width), c)
+	return encode(a, base&mask(c.Width), c)
 }
 
 // --- Blob/String mutators ---
@@ -112,9 +119,9 @@ func (BlobRandom) Applies(c *datamodel.Chunk) bool {
 }
 
 // Mutate implements Mutator.
-func (BlobRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte) []byte {
+func (BlobRandom) Mutate(r *rng.RNG, c *datamodel.Chunk, _ []byte, a *datamodel.Arena) []byte {
 	n := sizeFor(r, c)
-	out := make([]byte, n)
+	out := a.Buffer(n)[:n] // every byte is written below
 	for i := range out {
 		if c.Kind == datamodel.String {
 			out[i] = byte('!' + r.Intn(94)) // printable ASCII
@@ -137,15 +144,15 @@ func (BlobBitFlip) Applies(c *datamodel.Chunk) bool {
 }
 
 // Mutate implements Mutator.
-func (BlobBitFlip) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+func (BlobBitFlip) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte, a *datamodel.Arena) []byte {
 	base := prev
 	if len(base) == 0 {
-		base = defaultBytes(c)
+		base = defaultBytes(c, a)
 	}
 	if len(base) == 0 {
 		return nil
 	}
-	out := append([]byte(nil), base...)
+	out := append(a.Buffer(len(base)), base...)
 	for k := r.Range(1, 8); k > 0; k-- {
 		i := r.Intn(len(out) * 8)
 		out[i/8] ^= 1 << (i % 8)
@@ -168,22 +175,25 @@ func (BlobExpand) Applies(c *datamodel.Chunk) bool {
 }
 
 // Mutate implements Mutator.
-func (BlobExpand) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+func (BlobExpand) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte, a *datamodel.Arena) []byte {
 	base := prev
 	if len(base) == 0 {
-		base = defaultBytes(c)
+		base = defaultBytes(c, a)
 	}
 	if len(base) == 0 {
-		base = []byte{0}
+		base = zeroByte
 	}
+	// Same RNG draw order as always (times, then the segment bounds); the
+	// output buffer is sized after the segment is known so the appends
+	// below stay inside one arena allocation.
 	times := r.Range(2, 8)
-	out := append([]byte(nil), base...)
 	seg := base
 	if len(base) > 4 {
 		s := r.Intn(len(base) - 1)
 		e := r.Range(s+1, len(base))
 		seg = base[s:e]
 	}
+	out := append(a.Buffer(len(base)+times*len(seg)), base...)
 	for i := 0; i < times; i++ {
 		out = append(out, seg...)
 	}
@@ -207,15 +217,16 @@ func (BlobTruncate) Applies(c *datamodel.Chunk) bool {
 }
 
 // Mutate implements Mutator.
-func (BlobTruncate) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte) []byte {
+func (BlobTruncate) Mutate(r *rng.RNG, c *datamodel.Chunk, prev []byte, a *datamodel.Arena) []byte {
 	base := prev
 	if len(base) == 0 {
-		base = defaultBytes(c)
+		base = defaultBytes(c, a)
 	}
 	if len(base) == 0 {
 		return nil
 	}
-	return append([]byte(nil), base[:r.Intn(len(base))]...)
+	keep := r.Intn(len(base))
+	return append(a.Buffer(keep), base[:keep]...)
 }
 
 // --- Suite ---
@@ -270,8 +281,15 @@ func mask(width int) uint64 {
 	return (1 << (8 * width)) - 1
 }
 
-func encode(v uint64, c *datamodel.Chunk) []byte {
-	out := make([]byte, c.Width)
+// zeroByte is the shared one-byte fallback payload for empty expandable
+// chunks; mutators never write through their base, so sharing is safe.
+var zeroByte = []byte{0}
+
+// encode renders v at the chunk's width and endianness into an
+// arena-backed buffer (every byte is overwritten, so the buffer needs no
+// zeroing).
+func encode(a *datamodel.Arena, v uint64, c *datamodel.Chunk) []byte {
+	out := a.Buffer(c.Width)[:c.Width]
 	if c.Endian == datamodel.Big {
 		for i := c.Width - 1; i >= 0; i-- {
 			out[i] = byte(v)
@@ -311,15 +329,18 @@ func sizeFor(r *rng.RNG, c *datamodel.Chunk) int {
 	return r.Range(c.MinSize, max)
 }
 
-func defaultBytes(c *datamodel.Chunk) []byte {
+// defaultBytes is the chunk's fallback base value: its declared default,
+// or an arena-backed zero payload of its declared size. Callers treat the
+// result as read-only.
+func defaultBytes(c *datamodel.Chunk, a *datamodel.Arena) []byte {
 	if len(c.DefaultBytes) > 0 {
 		return c.DefaultBytes
 	}
 	if c.Size > 0 {
-		return make([]byte, c.Size)
+		return a.Bytes(c.Size)
 	}
 	if c.MinSize > 0 {
-		return make([]byte, c.MinSize)
+		return a.Bytes(c.MinSize)
 	}
 	return nil
 }

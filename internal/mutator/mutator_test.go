@@ -19,7 +19,7 @@ func TestNumberRandomWidth(t *testing.T) {
 	r := rng.New(1)
 	m := NumberRandom{}
 	for _, w := range []int{1, 2, 4, 8} {
-		out := m.Mutate(r, num(w), nil)
+		out := m.Mutate(r, num(w), nil, nil)
 		if len(out) != w {
 			t.Fatalf("width %d: got %d bytes", w, len(out))
 		}
@@ -32,7 +32,7 @@ func TestNumberRandomRespectsLegalMostly(t *testing.T) {
 	m := NumberRandom{}
 	legal, illegal := 0, 0
 	for i := 0; i < 1000; i++ {
-		v := decode(m.Mutate(r, c, nil), c)
+		v := decode(m.Mutate(r, c, nil, nil), c)
 		if v == 10 || v == 20 {
 			legal++
 		} else {
@@ -51,7 +51,7 @@ func TestNumberEdgeCaseTruncated(t *testing.T) {
 	r := rng.New(3)
 	m := NumberEdgeCase{}
 	for i := 0; i < 200; i++ {
-		out := m.Mutate(r, num(1), nil)
+		out := m.Mutate(r, num(1), nil, nil)
 		if len(out) != 1 {
 			t.Fatal("width 1 edge case must be 1 byte")
 		}
@@ -62,9 +62,9 @@ func TestNumberDeltaUsesPrev(t *testing.T) {
 	r := rng.New(4)
 	m := NumberDeltaFromDefault{}
 	c := num(4)
-	prev := encode(1000, c)
+	prev := encode(nil, 1000, c)
 	for i := 0; i < 100; i++ {
-		v := decode(m.Mutate(r, c, prev), c)
+		v := decode(m.Mutate(r, c, prev, nil), c)
 		if v < 1000-16 || v > 1000+16 {
 			t.Fatalf("delta mutation out of range: %d", v)
 		}
@@ -78,12 +78,12 @@ func TestBlobRandomSizes(t *testing.T) {
 	r := rng.New(5)
 	m := BlobRandom{}
 	for i := 0; i < 100; i++ {
-		out := m.Mutate(r, vblob(2, 10), nil)
+		out := m.Mutate(r, vblob(2, 10), nil, nil)
 		if len(out) < 2 || len(out) > 10 {
 			t.Fatalf("size %d out of [2,10]", len(out))
 		}
 	}
-	if len(m.Mutate(r, blob(6), nil)) != 6 {
+	if len(m.Mutate(r, blob(6), nil, nil)) != 6 {
 		t.Fatal("fixed blob must keep its size under BlobRandom")
 	}
 }
@@ -92,7 +92,7 @@ func TestStringRandomPrintable(t *testing.T) {
 	r := rng.New(6)
 	m := BlobRandom{}
 	c := datamodel.Str("s", 32, "")
-	out := m.Mutate(r, c, nil)
+	out := m.Mutate(r, c, nil, nil)
 	for _, b := range out {
 		if b < '!' || b > '~' {
 			t.Fatalf("non-printable byte %02x in string mutation", b)
@@ -106,7 +106,7 @@ func TestBitFlipChangesSomething(t *testing.T) {
 	prev := []byte{0, 0, 0, 0}
 	diff := false
 	for i := 0; i < 20; i++ {
-		out := m.Mutate(r, blob(4), prev)
+		out := m.Mutate(r, blob(4), prev, nil)
 		if len(out) != 4 {
 			t.Fatalf("bit flip changed length: %d", len(out))
 		}
@@ -124,7 +124,7 @@ func TestBitFlipDoesNotMutateInput(t *testing.T) {
 	m := BlobBitFlip{}
 	prev := []byte{1, 2, 3, 4}
 	orig := append([]byte(nil), prev...)
-	m.Mutate(r, blob(4), prev)
+	m.Mutate(r, blob(4), prev, nil)
 	if !bytes.Equal(prev, orig) {
 		t.Fatal("mutator modified caller's slice")
 	}
@@ -133,7 +133,7 @@ func TestBitFlipDoesNotMutateInput(t *testing.T) {
 func TestExpandGrows(t *testing.T) {
 	r := rng.New(9)
 	m := BlobExpand{}
-	out := m.Mutate(r, vblob(0, 0), []byte{1, 2, 3})
+	out := m.Mutate(r, vblob(0, 0), []byte{1, 2, 3}, nil)
 	if len(out) <= 3 {
 		t.Fatalf("expand produced %d bytes", len(out))
 	}
@@ -143,7 +143,7 @@ func TestExpandRespectsMaxSize(t *testing.T) {
 	r := rng.New(10)
 	m := BlobExpand{}
 	for i := 0; i < 50; i++ {
-		out := m.Mutate(r, vblob(0, 12), []byte{1, 2, 3, 4, 5, 6})
+		out := m.Mutate(r, vblob(0, 12), []byte{1, 2, 3, 4, 5, 6}, nil)
 		if len(out) > 12 {
 			t.Fatalf("expand exceeded MaxSize: %d", len(out))
 		}
@@ -154,7 +154,7 @@ func TestTruncateShrinks(t *testing.T) {
 	r := rng.New(11)
 	m := BlobTruncate{}
 	for i := 0; i < 50; i++ {
-		out := m.Mutate(r, vblob(0, 0), []byte{1, 2, 3, 4, 5})
+		out := m.Mutate(r, vblob(0, 0), []byte{1, 2, 3, 4, 5}, nil)
 		if len(out) >= 5 {
 			t.Fatalf("truncate produced %d bytes", len(out))
 		}
@@ -165,7 +165,7 @@ func TestTruncateEmptyPrevAndDefaults(t *testing.T) {
 	r := rng.New(12)
 	m := BlobTruncate{}
 	c := &datamodel.Chunk{Name: "b", Kind: datamodel.Blob, Size: datamodel.Variable}
-	if out := m.Mutate(r, c, nil); len(out) != 0 {
+	if out := m.Mutate(r, c, nil, nil); len(out) != 0 {
 		t.Fatalf("truncate of empty default = %d bytes", len(out))
 	}
 }
@@ -221,7 +221,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 			c.Endian = datamodel.Little
 		}
 		masked := v & mask(width)
-		return decode(encode(masked, c), c) == masked
+		return decode(encode(nil, masked, c), c) == masked
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -236,8 +236,8 @@ func TestMutatorsDeterministicUnderSeed(t *testing.T) {
 		} else {
 			c = vblob(1, 16)
 		}
-		a := m.Mutate(rng.New(99), c, []byte{5, 6, 7, 8})
-		b := m.Mutate(rng.New(99), c, []byte{5, 6, 7, 8})
+		a := m.Mutate(rng.New(99), c, []byte{5, 6, 7, 8}, nil)
+		b := m.Mutate(rng.New(99), c, []byte{5, 6, 7, 8}, nil)
 		if !bytes.Equal(a, b) {
 			t.Fatalf("%s not deterministic under fixed seed", m.Name())
 		}

@@ -1,0 +1,145 @@
+package peachstar
+
+import "time"
+
+// This file defines the typed event stream of a running campaign session
+// (Run.Events): what a caller can observe about a campaign while it runs,
+// without touching the fuzzing loop. Events are emitted at merge-window
+// granularity on the fleet's worker goroutines and delivered through a
+// bounded drop-oldest channel — observation never stalls the hot loop,
+// and a slow consumer loses old progress snapshots, never crash reports.
+
+// Event is one item of a Run's event stream. The concrete types are
+// StatsEvent, NewCoverageEvent, CrashEvent, and SyncWindowEvent;
+// consumers type-switch:
+//
+//	for ev := range run.Events() {
+//		switch ev := ev.(type) {
+//		case peachstar.CrashEvent:
+//			log.Printf("crash: %s at %s", ev.Record.Kind, ev.Record.Site)
+//		case peachstar.StatsEvent:
+//			log.Printf("%d execs, %d edges", ev.Stats.Execs, ev.Stats.Edges)
+//		}
+//	}
+//
+// The stream closes when the run finishes, so ranging over it doubles as
+// a completion wait.
+type Event interface {
+	// event marks the closed set of stream item types.
+	event()
+}
+
+// StatsEvent is a periodic campaign progress snapshot, emitted every
+// RunConfig.StatsEvery executions (and once more, final, as the stream
+// closes). Stats carries the approximate concurrent-safe counters of
+// Run.Snapshot: execution and path counters as of each worker's latest
+// merge window, crash figures exact; the final event is taken after the
+// fleet has quiesced and is exact.
+type StatsEvent struct {
+	// Stats is the snapshot; see Run.Snapshot for which counters are
+	// exact and which lag by up to one merge window.
+	Stats Stats
+	// Elapsed is the wall-clock time since Start.
+	Elapsed time.Duration
+}
+
+func (StatsEvent) event() {}
+
+// NewCoverageEvent reports that a merge window grew the fleet's union
+// coverage map — the "the campaign is still learning" signal.
+type NewCoverageEvent struct {
+	// Edges is the union edge count after the window.
+	Edges int
+	// Delta is how many previously-virgin edges the window lit.
+	Delta int
+	// Worker indexes the worker whose window published the growth.
+	Worker int
+}
+
+func (NewCoverageEvent) event() {}
+
+// CrashEvent reports one unique fault, emitted at the end of the merge
+// window in which a worker first recorded it and deduplicated fleet-wide
+// (the same fault found concurrently by two workers is reported once).
+// Crash events are never dropped by the stream's backpressure policy:
+// when the buffer is full, older non-crash events are evicted instead.
+// Crashes that arrive from remote fleet nodes over a sync attachment are
+// merged into campaign state but not replayed as events — each node
+// reports what it found itself.
+type CrashEvent struct {
+	// Record is the deduplicated fault (a detached copy).
+	Record *CrashRecord
+	// Worker indexes the worker that found it.
+	Worker int
+}
+
+func (CrashEvent) event() {}
+
+// SyncWindowEvent reports one remote sync exchange of a leaf or mesh
+// attachment: the push/pull round trip that merges this campaign's
+// discoveries with the rest of the fleet. Err is nil on success; a failed
+// exchange is not fatal (the campaign keeps fuzzing and the next window
+// retries), so errors surface here rather than ending the run.
+type SyncWindowEvent struct {
+	// Attachment names the attachment kind: "leaf" or "mesh".
+	Attachment string
+	// Addr is the attachment's remote address (the hub address for a
+	// leaf; the node's own accept address for a mesh, whose exchanges
+	// fan out to every linked peer).
+	Addr string
+	// Execs is the campaign's local execution count when the window ran.
+	Execs int
+	// Elapsed is the exchange's duration.
+	Elapsed time.Duration
+	// Err is the exchange error, nil on success.
+	Err error
+}
+
+func (SyncWindowEvent) event() {}
+
+// emit delivers one event to the stream without ever blocking a worker:
+// if the buffer is full, the oldest *droppable* event is evicted to make
+// room — buffered CrashEvents are re-queued, never dropped, so a stalled
+// consumer degrades the stream to "recent progress plus every crash".
+//
+// Every producer holds emitMu for the whole call — there is deliberately
+// no lock-free fast path. That is the invariant that makes the
+// evict-or-requeue dance safe: after this producer pops an element, the
+// freed slot cannot be filled by anyone else (other producers wait on
+// the mutex; the consumer only removes), so re-queuing a popped crash
+// with a plain send can never block. Only a buffer holding nothing but
+// crash events overflows crashes, and then oldest-first — memory stays
+// bounded by the buffer either way.
+func (r *Run) emit(ev Event) {
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	_, isCrash := ev.(CrashEvent)
+	// A crash may pop at most the whole buffer of other crashes before
+	// force-dropping the oldest; droppable events give up after one pop.
+	for requeued := 0; ; {
+		select {
+		case r.events <- ev:
+			return
+		default:
+		}
+		select {
+		case old := <-r.events:
+			if _, c := old.(CrashEvent); c && requeued < cap(r.events) {
+				r.events <- old // slot just freed; cannot block under emitMu
+				requeued++
+				if !isCrash {
+					return // the front was a crash: drop ev itself instead
+				}
+				continue
+			}
+		default:
+		}
+		if !isCrash {
+			select {
+			case r.events <- ev:
+			default:
+			}
+			return
+		}
+	}
+}

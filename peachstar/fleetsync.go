@@ -8,6 +8,7 @@ package peachstar
 // for operational semantics.
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/fleetnet"
@@ -27,15 +28,23 @@ type SyncServer struct {
 // and local discoveries converge through the same merge path. Close the
 // returned server to stop accepting.
 func (c *Campaign) ServeSync(addr string) (*SyncServer, error) {
+	return c.serveSync(context.Background(), addr)
+}
+
+// serveSync is ServeSync scoped to a context (the session driver's path,
+// so a canceled session tears its hub attachment down promptly): ctx
+// cancellation closes the hub, listener and peer connections included.
+func (c *Campaign) serveSync(ctx context.Context, addr string) (*SyncServer, error) {
 	hub, err := fleetnet.NewHub(fleetnet.HubConfig{
-		State:  c.fleet.State(),
-		Target: c.cfg.Target.(Target).Name(),
-		Models: c.cfg.Models,
+		State:      c.fleet.State(),
+		Target:     c.cfg.Target.(Target).Name(),
+		Models:     c.cfg.Models,
+		LocalExecs: c.fleet.ExecsApprox,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := hub.ListenAndServe(addr); err != nil {
+	if err := hub.ListenAndServeContext(ctx, addr); err != nil {
 		return nil, err
 	}
 	return &SyncServer{hub: hub}, nil
@@ -93,15 +102,28 @@ func (l *SyncLeaf) Sync() error { return l.leaf.Sync() }
 // default of four merge windows). Sync failures are tolerated: fuzzing
 // continues and the next window retries. The final sync's error, if any,
 // is returned; local results are intact regardless.
+//
+// Deprecated: use Campaign.Start with this leaf attached — either
+// RunConfig{Attach: []Attachment{WithLeaf(addr)}} for a session-owned
+// uplink, or this handle's Attachment() to keep it across sessions.
 func (l *SyncLeaf) RunSynced(execBudget, syncEvery int) error {
-	return l.leaf.Run(execBudget, syncEvery)
+	if execBudget <= 0 {
+		return l.Sync() // budget already spent: just the final flush
+	}
+	return runAttached(l.c, RunConfig{Execs: execBudget, SyncEvery: syncEvery}, l.Attachment())
 }
 
 // RunSyncedUntil is RunSynced with a wall-clock deadline instead of an
 // exec budget, keeping the same syncEvery execution cadence; it stops
 // within one merge-window slice of the deadline.
+//
+// Deprecated: use Campaign.Start with a Deadline and this leaf attached
+// (see RunSynced).
 func (l *SyncLeaf) RunSyncedUntil(deadline time.Time, syncEvery int) error {
-	return l.leaf.RunUntil(deadline, syncEvery)
+	if deadline.IsZero() {
+		return l.Sync() // no deadline to honor: just the final flush
+	}
+	return runAttached(l.c, RunConfig{Deadline: deadline, SyncEvery: syncEvery}, l.Attachment())
 }
 
 // FleetStats returns the fleet-wide figures from the latest hub reply —

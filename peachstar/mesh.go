@@ -84,14 +84,27 @@ func (m *MeshNode) Sync() error { return m.mesh.Sync() }
 // default of four merge windows). Link failures are tolerated: fuzzing
 // continues and the next window retries. The final sync's error, if any,
 // is returned; local results are intact regardless.
+//
+// Deprecated: use Campaign.Start with a mesh attached — either
+// RunConfig{Attach: []Attachment{WithMesh(opts)}} for a session-owned
+// node, or this handle's Attachment() to keep it across sessions.
 func (m *MeshNode) RunSynced(execBudget, syncEvery int) error {
-	return m.mesh.Run(execBudget, syncEvery)
+	if execBudget <= 0 {
+		return m.Sync() // budget already spent: just the final flush
+	}
+	return runAttached(m.c, RunConfig{Execs: execBudget, SyncEvery: syncEvery}, m.Attachment())
 }
 
 // RunSyncedUntil is RunSynced with a wall-clock deadline instead of an
 // exec budget, stopping within one merge-window slice of the deadline.
+//
+// Deprecated: use Campaign.Start with a Deadline and a mesh attached
+// (see RunSynced).
 func (m *MeshNode) RunSyncedUntil(deadline time.Time, syncEvery int) error {
-	return m.mesh.RunUntil(deadline, syncEvery)
+	if deadline.IsZero() {
+		return m.Sync() // no deadline to honor: just the final flush
+	}
+	return runAttached(m.c, RunConfig{Deadline: deadline, SyncEvery: syncEvery}, m.Attachment())
 }
 
 // PeerStats reports the node's connectivity: connected uplinks, connected

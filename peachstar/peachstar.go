@@ -29,6 +29,7 @@
 package peachstar
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"reflect"
@@ -145,13 +146,17 @@ type Options struct {
 	SeedStream int
 }
 
-// Campaign is one running fuzzing campaign.
+// Campaign is one fuzzing campaign. Drive it with Start (a cancellable
+// session with a typed event stream), or with the deprecated blocking
+// wrappers (Run, RunParallel, RunUntil, RunFor) that delegate to Start.
 type Campaign struct {
 	cfg         core.Config
 	userFactory func() Target         // Options.TargetFactory, may be nil
 	factory     func() sandbox.Target // resolved lazily; nil until resolved
 	seedStream  int                   // Options.SeedStream
 	fleet       *core.Fleet
+	// running guards the one-session-at-a-time invariant of Start.
+	running int32
 }
 
 // NewCampaign validates options and prepares a campaign.
@@ -233,8 +238,16 @@ func (c *Campaign) build(workers int) error {
 // Run fuzzes until at least execBudget target executions have happened,
 // using the parallelism configured in Options.Workers. It may be called
 // repeatedly to extend a campaign.
+//
+// Deprecated: use Start with RunConfig{Execs: execBudget} and Wait on the
+// returned Run — it adds cancellation, early stop, and live events. Run
+// remains as a wrapper over Start and produces bit-for-bit identical
+// campaigns.
 func (c *Campaign) Run(execBudget int) {
-	c.fleet.Run(execBudget)
+	if execBudget <= 0 {
+		return // RunConfig.Execs 0 means "unbounded", not "spent"
+	}
+	c.waitWrapped(RunConfig{Execs: execBudget})
 }
 
 // RunUntil fuzzes until the wall-clock deadline. The deadline is checked
@@ -242,13 +255,23 @@ func (c *Campaign) Run(execBudget int) {
 // iteration of it rather than finishing out a fixed execution slice; each
 // worker syncs its discoveries into the shared state before returning. It
 // may be called repeatedly (and mixed with Run) to extend a campaign.
+//
+// Deprecated: use Start with RunConfig{Deadline: deadline}.
 func (c *Campaign) RunUntil(deadline time.Time) {
-	c.fleet.RunUntil(deadline)
+	if deadline.IsZero() {
+		return // a zero RunConfig.Deadline means "no deadline"
+	}
+	c.waitWrapped(RunConfig{Deadline: deadline})
 }
 
 // RunFor is RunUntil with a relative wall-clock budget.
+//
+// Deprecated: use Start with RunConfig{Duration: d}.
 func (c *Campaign) RunFor(d time.Duration) {
-	c.fleet.RunUntil(time.Now().Add(d))
+	if d <= 0 {
+		return
+	}
+	c.waitWrapped(RunConfig{Duration: d})
 }
 
 // RunParallel fuzzes until at least execBudget total target executions have
@@ -256,6 +279,9 @@ func (c *Campaign) RunFor(d time.Duration) {
 // the serial engine, bit-for-bit identical to Run on a serial campaign. The
 // worker count may differ from Options.Workers only before the campaign has
 // executed anything; changing it mid-campaign is an error.
+//
+// Deprecated: set Options.Workers and use Start with
+// RunConfig{Execs: execBudget}.
 func (c *Campaign) RunParallel(execBudget, workers int) error {
 	if workers < 1 {
 		workers = 1
@@ -269,8 +295,21 @@ func (c *Campaign) RunParallel(execBudget, workers int) error {
 			return err
 		}
 	}
-	c.fleet.Run(execBudget)
+	c.Run(execBudget)
 	return nil
+}
+
+// waitWrapped is the deprecated wrappers' common body: start a session
+// with the given config and block until it ends. The wrappers predate
+// error returns, so the only possible Start failure — a session already
+// in flight, always a caller bug the old API answered with a data race —
+// panics instead.
+func (c *Campaign) waitWrapped(cfg RunConfig) {
+	r, err := c.Start(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	r.Wait()
 }
 
 // Workers returns the campaign's parallelism.

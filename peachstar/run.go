@@ -1,0 +1,617 @@
+package peachstar
+
+// This file is the session-based run API — the one driver every execution
+// topology goes through. A Campaign used to grow a new blocking Run*
+// method per topology (serial Run, sharded RunParallel, hub-leaf
+// RunSynced, mesh RunSynced); Start replaces them all with one
+// context-aware entry point: the budget, the sync cadence and the
+// network attachments travel in a RunConfig, and the returned Run is a
+// handle the caller can wait on, stop, snapshot, and observe through a
+// typed event stream. The deprecated methods survive as thin wrappers
+// over Start, which pins their equivalence.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crash"
+)
+
+// DefaultSyncEvery is the default number of local executions between
+// remote sync windows of an attached (leaf or mesh) campaign: four merge
+// windows' worth.
+const DefaultSyncEvery = 4 * core.DefaultMergeEvery
+
+// DefaultStatsEvery is the default number of fleet executions between
+// StatsEvents on a run's event stream.
+const DefaultStatsEvery = 4 * core.DefaultMergeEvery
+
+// DefaultEventBuffer is the default capacity of a run's event channel.
+const DefaultEventBuffer = 256
+
+// DefaultRelayEvery is the default wall-clock cadence of a RelayOnly
+// session's sync rounds (a relay has no execution count to pace by).
+const DefaultRelayEvery = 5 * time.Second
+
+// RunConfig configures one campaign session started with Campaign.Start.
+// The zero value is valid and means: fuzz with no execution or time bound
+// (the session then runs until the context ends or Stop is called),
+// default cadences, no attachments.
+type RunConfig struct {
+	// Execs is the total campaign execution target, in the same absolute
+	// terms the deprecated Run used: the session drives the fleet until
+	// at least this many executions have happened since the campaign was
+	// created (so extending a campaign with a second session reuses the
+	// same scale). 0 means no execution bound.
+	Execs int
+	// Deadline, when non-zero, stops the session at that wall-clock
+	// instant, checked before every engine step like RunUntil checked it.
+	Deadline time.Time
+	// Duration, when positive and Deadline is zero, is a relative
+	// deadline of Start-time + Duration.
+	Duration time.Duration
+	// SyncEvery is the number of local executions between remote sync
+	// windows when the session has leaf or mesh attachments
+	// (0 = DefaultSyncEvery). Ignored without attachments.
+	SyncEvery int
+	// StatsEvery is the number of fleet executions between StatsEvents
+	// on the event stream (0 = DefaultStatsEvery; negative disables
+	// periodic stats, leaving only the final one).
+	StatsEvery int
+	// EventBuffer is the event channel's capacity
+	// (0 = DefaultEventBuffer). When the buffer is full the oldest
+	// event is dropped — except crashes, which evict older events
+	// instead. See Run.Events.
+	EventBuffer int
+	// Attach lists the session's sync attachments, composably: serve
+	// this campaign to remote leaves (WithHub), uplink it to a hub
+	// (WithLeaf), mesh it with peers (WithMesh) — or drive an existing
+	// SyncServer/SyncLeaf/MeshNode handle through its Attachment method.
+	// Attachments created by WithHub/WithLeaf/WithMesh belong to the
+	// session and are closed when it ends; borrowed handles are left
+	// open for their owner.
+	Attach []Attachment
+	// RelayOnly makes the session execute nothing itself: the workers
+	// stay idle while the session serves its attachments — accepting
+	// hub or mesh peers and relaying fleet state between them every
+	// RelayEvery — until the context ends, Stop is called, or the
+	// deadline passes. For aggregator hubs and pure mesh relays.
+	RelayOnly bool
+	// RelayEvery is the wall-clock cadence of a RelayOnly session's
+	// sync-and-report rounds (0 = DefaultRelayEvery). Ignored unless
+	// RelayOnly is set.
+	RelayEvery time.Duration
+}
+
+// Attachment composes a fleet transport into a session: something a run
+// serves, dials, or exchanges state with at its sync cadence. Build them
+// with WithHub, WithLeaf or WithMesh (session-owned), or borrow a live
+// SyncServer, SyncLeaf or MeshNode via its Attachment method.
+type Attachment interface {
+	// attach binds the attachment to the campaign under the session's
+	// context and returns its runtime half.
+	attach(ctx context.Context, c *Campaign) (runAttachment, error)
+}
+
+// runAttachment is the runtime half of an Attachment: what the session
+// loop actually drives.
+type runAttachment interface {
+	kind() string                   // "hub" | "leaf" | "mesh", for events
+	addr() string                   // remote (leaf) or serving (hub/mesh) address
+	active() bool                   // participates in the sync cadence (hubs are passive)
+	sync(ctx context.Context) error // one remote merge window
+	close() error                   // session-end cleanup; no-op when borrowed
+}
+
+// WithHub returns an attachment that serves the campaign's shared state
+// to remote leaves on addr (host:port, ":0" picks a free port) for the
+// lifetime of the session. The hub accepts and exchanges in the
+// background; canceling the session's context tears every peer
+// connection down promptly.
+func WithHub(addr string) Attachment { return hubSpec{listen: addr} }
+
+// WithLeaf returns an attachment that uplinks the campaign to the fleet
+// hub at addr, pushing local discoveries and pulling the fleet's every
+// RunConfig.SyncEvery executions. Connection loss only pauses exchange —
+// the campaign keeps fuzzing and later windows redial. The uplink closes
+// with the session.
+func WithLeaf(addr string) Attachment { return leafSpec{addr: addr} }
+
+// WithMesh returns an attachment that makes the campaign a node of a
+// hub-less mesh fleet for the lifetime of the session, accepting peers
+// on opts.Listen and keeping uplinks to every known peer, with one merge
+// round per RunConfig.SyncEvery executions.
+func WithMesh(opts MeshOptions) Attachment { return meshSpec{opts: opts} }
+
+// hubSpec builds a session-owned hub.
+type hubSpec struct{ listen string }
+
+func (s hubSpec) attach(ctx context.Context, c *Campaign) (runAttachment, error) {
+	srv, err := c.serveSync(ctx, s.listen)
+	if err != nil {
+		return nil, err
+	}
+	return &hubRun{srv: srv, owned: true}, nil
+}
+
+// leafSpec builds a session-owned leaf uplink.
+type leafSpec struct{ addr string }
+
+func (s leafSpec) attach(_ context.Context, c *Campaign) (runAttachment, error) {
+	leaf, err := c.DialSync(s.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &leafRun{l: leaf, remote: s.addr, owned: true}, nil
+}
+
+// meshSpec builds a session-owned mesh node.
+type meshSpec struct{ opts MeshOptions }
+
+func (s meshSpec) attach(_ context.Context, c *Campaign) (runAttachment, error) {
+	node, err := c.JoinMesh(s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &meshRun{m: node, owned: true}, nil
+}
+
+// hubRun is a hub attachment at runtime: passive (remote leaves sync
+// themselves through the accept loop), it only needs closing.
+type hubRun struct {
+	srv   *SyncServer
+	owned bool
+}
+
+func (h *hubRun) kind() string               { return "hub" }
+func (h *hubRun) addr() string               { return h.srv.Addr() }
+func (h *hubRun) active() bool               { return false }
+func (h *hubRun) sync(context.Context) error { return nil }
+func (h *hubRun) close() error {
+	if !h.owned {
+		return nil
+	}
+	return h.srv.Close()
+}
+
+// leafRun is a leaf attachment at runtime.
+type leafRun struct {
+	l      *SyncLeaf
+	remote string
+	owned  bool
+}
+
+func (l *leafRun) kind() string                   { return "leaf" }
+func (l *leafRun) addr() string                   { return l.remote }
+func (l *leafRun) active() bool                   { return true }
+func (l *leafRun) sync(ctx context.Context) error { return l.l.leaf.SyncContext(ctx) }
+func (l *leafRun) close() error {
+	if !l.owned {
+		return nil
+	}
+	return l.l.Close()
+}
+
+// meshRun is a mesh attachment at runtime.
+type meshRun struct {
+	m     *MeshNode
+	owned bool
+}
+
+func (m *meshRun) kind() string                   { return "mesh" }
+func (m *meshRun) addr() string                   { return m.m.Addr() }
+func (m *meshRun) active() bool                   { return true }
+func (m *meshRun) sync(ctx context.Context) error { return m.m.mesh.SyncContext(ctx) }
+func (m *meshRun) close() error {
+	if !m.owned {
+		return nil
+	}
+	return m.m.Close()
+}
+
+// Attachment adapts a live sync server into a session attachment. The
+// session serves through it but does not own it: it stays open when the
+// session ends, so one hub can span several sessions (fuzz phases,
+// relay phases) on the same campaign.
+func (s *SyncServer) Attachment() Attachment { return borrowedAttachment{a: &hubRun{srv: s}} }
+
+// Attachment adapts a live leaf uplink into a session attachment: the
+// session syncs it at the configured cadence but does not close it, so
+// the caller keeps the handle (FleetStats, Connected) across sessions.
+func (l *SyncLeaf) Attachment() Attachment {
+	return borrowedAttachment{a: &leafRun{l: l, remote: l.leaf.Addr()}}
+}
+
+// Attachment adapts a live mesh node into a session attachment: the
+// session runs the node's sync rounds but does not close it, so the
+// caller keeps the handle (Addr, PeerStats, AddPeer) across sessions.
+func (m *MeshNode) Attachment() Attachment { return borrowedAttachment{a: &meshRun{m: m}} }
+
+// borrowedAttachment wraps a prebuilt runAttachment whose lifecycle the
+// caller owns.
+type borrowedAttachment struct{ a runAttachment }
+
+func (b borrowedAttachment) attach(context.Context, *Campaign) (runAttachment, error) {
+	return b.a, nil
+}
+
+// Run is one live campaign session started by Campaign.Start: a handle to
+// wait on (Wait, Done), stop (Stop), and observe (Snapshot, Events)
+// while the fleet fuzzes in the background.
+type Run struct {
+	c     *Campaign
+	cfg   RunConfig
+	ctx   context.Context
+	start time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	events   chan Event
+	// emitMu serializes producers of the event channel so buffer
+	// eviction can re-queue crash events atomically (see emit).
+	emitMu sync.Mutex
+	// ctxStopped records (0/1) that the context — not the budget or a
+	// graceful Stop — ended the session; only then does Wait surface the
+	// context's error.
+	ctxStopped int32
+
+	atts    []runAttachment
+	syncers []runAttachment
+
+	// statsNext is the next fleet-exec threshold that emits a StatsEvent
+	// (atomic: window hooks race on it across workers).
+	statsNext int64
+
+	// crashMu guards crashSeen, the fleet-level crash deduplication for
+	// CrashEvents (workers may find the same fault independently).
+	crashMu   sync.Mutex
+	crashSeen map[string]bool
+
+	// err is the session result, written before done closes.
+	err error
+}
+
+// Start begins a session on the campaign and returns immediately with its
+// handle; the fleet fuzzes on background goroutines. The session ends
+// when the RunConfig budget (execs and/or deadline) is spent, the context
+// is canceled, or Stop is called — whichever comes first — and Wait
+// reports how it went. Cancellation is prompt: workers stop at the next
+// merge-window boundary and a remote exchange in flight is interrupted
+// rather than timed out. One session runs at a time; starting a second
+// before the first is done is an error.
+//
+// A session with neither an exec target nor a deadline runs until
+// canceled or stopped. A graceful Stop still flushes attachments with a
+// final sync window; a context cancellation skips the flush and tears
+// down immediately, and Wait then returns the context's error.
+func (c *Campaign) Start(ctx context.Context, cfg RunConfig) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !atomic.CompareAndSwapInt32(&c.running, 0, 1) {
+		return nil, fmt.Errorf("peachstar: campaign already has a session in flight")
+	}
+	if cfg.Deadline.IsZero() && cfg.Duration > 0 {
+		cfg.Deadline = time.Now().Add(cfg.Duration)
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = DefaultSyncEvery
+	}
+	if cfg.StatsEvery == 0 {
+		cfg.StatsEvery = DefaultStatsEvery
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = DefaultEventBuffer
+	}
+	if cfg.RelayEvery <= 0 {
+		cfg.RelayEvery = DefaultRelayEvery
+	}
+	r := &Run{
+		c:         c,
+		cfg:       cfg,
+		ctx:       ctx,
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		events:    make(chan Event, cfg.EventBuffer),
+		statsNext: int64(cfg.StatsEvery),
+		crashSeen: make(map[string]bool),
+	}
+	if cfg.StatsEvery < 0 {
+		r.statsNext = int64(^uint64(0) >> 2) // periodic stats disabled
+	}
+	for _, a := range cfg.Attach {
+		att, err := a.attach(ctx, c)
+		if err != nil {
+			for _, prev := range r.atts {
+				prev.close()
+			}
+			atomic.StoreInt32(&c.running, 0)
+			return nil, err
+		}
+		r.atts = append(r.atts, att)
+		if att.active() {
+			r.syncers = append(r.syncers, att)
+		}
+	}
+	go r.loop()
+	return r, nil
+}
+
+// Wait blocks until the session ends and returns its result: nil on a
+// spent budget or a graceful Stop, the context's error if the context
+// ended the session, or the final sync flush's error for an attached
+// session whose last exchange failed (matching the deprecated
+// RunSynced contract). Wait may be called any number of times, from any
+// goroutine.
+func (r *Run) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// Stop requests a graceful end of the session: workers finish their
+// in-flight merge windows, attachments get a final flush, and Wait
+// returns nil. Safe to call repeatedly and concurrently; after the
+// session is done it is a no-op.
+func (r *Run) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+}
+
+// Done returns a channel closed when the session has fully ended
+// (workers stopped, attachments flushed and closed) — the select-friendly
+// form of Wait.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Events returns the session's typed event stream: StatsEvent,
+// NewCoverageEvent, CrashEvent and SyncWindowEvent items, emitted at
+// merge-window granularity and closed when the session ends. The stream
+// observes the campaign; it never perturbs it: events are produced
+// without blocking the fuzzing loop, and when a slow consumer lets the
+// buffer fill, the oldest events are dropped — except CrashEvents, which
+// are always retained (older events are evicted to make room). Consume
+// promptly (or not at all: an unread stream costs one fixed buffer).
+func (r *Run) Events() <-chan Event { return r.events }
+
+// Snapshot returns the campaign's progress without stopping it — safe to
+// call from any goroutine at any time. Counters are approximate while
+// the fleet runs: executions, paths and iteration counts are as of each
+// worker's latest merge window (at most one window behind), and the edge
+// and corpus figures are the fleet union as of the latest window; crash
+// and hang counts are exact at all times. Once the session is done the
+// snapshot is exact. For the exact-but-blocking alternative, use
+// Campaign.Stats after Wait.
+func (r *Run) Snapshot() Stats { return r.c.fleet.StatsApprox() }
+
+// loop is the session driver, on its own goroutine.
+func (r *Run) loop() {
+	defer func() {
+		for _, a := range r.atts {
+			a.close()
+		}
+		atomic.StoreInt32(&r.c.running, 0)
+		close(r.done)
+	}()
+	if r.ctx.Done() != nil {
+		go func() {
+			select {
+			case <-r.ctx.Done():
+				r.stopForContext()
+			case <-r.done:
+			}
+		}()
+	}
+
+	var syncErr error
+	switch {
+	case r.cfg.RelayOnly:
+		syncErr = r.relayLoop()
+	case len(r.syncers) == 0:
+		r.c.fleet.Drive(r.stop, core.Budget{Execs: r.cfg.Execs, Deadline: r.cfg.Deadline}, r.windowHook)
+	default:
+		syncErr = r.syncedLoop()
+	}
+
+	r.c.fleet.PublishStats()
+	r.emit(StatsEvent{Stats: r.c.fleet.StatsApprox(), Elapsed: time.Since(r.start)})
+	close(r.events)
+	// The context's error is the session result only when the
+	// cancellation is what ended the session: a cancel that lands after
+	// the budget is already spent does not turn a completed run into a
+	// failed one.
+	if atomic.LoadInt32(&r.ctxStopped) == 1 && !r.budgetDone() {
+		r.err = r.ctx.Err()
+		return
+	}
+	r.err = syncErr
+}
+
+// stopForContext claims the session stop on behalf of the canceled
+// context — Wait will then report the context's error. It is a no-op
+// when a graceful Stop already ended the session (that Stop keeps its
+// "Wait returns nil" contract). Called by the context watcher, and by
+// any loop exit that observes the cancellation directly: the watcher
+// goroutine may not have been scheduled yet, and the cancellation must
+// not be mistaken for a clean finish.
+func (r *Run) stopForContext() {
+	r.stopOnce.Do(func() {
+		atomic.StoreInt32(&r.ctxStopped, 1)
+		close(r.stop)
+	})
+}
+
+// budgetDone reports whether the session's own budget is spent — the
+// exec target reached or the deadline passed. Called at session end,
+// when the fleet is quiescent.
+func (r *Run) budgetDone() bool {
+	if r.cfg.Execs > 0 && r.c.fleet.Execs() >= r.cfg.Execs {
+		return true
+	}
+	if !r.cfg.Deadline.IsZero() && !time.Now().Before(r.cfg.Deadline) {
+		return true
+	}
+	return false
+}
+
+// syncedLoop drives an attached session: fuzz one sync window's worth of
+// executions, then exchange with every active attachment, until the
+// budget is spent or the session is stopped; a final flush settles the
+// remote state (and its error is the session result, like RunSynced's).
+// Exchange failures inside the loop surface as SyncWindowEvents and the
+// campaign keeps fuzzing — the next window retries.
+func (r *Run) syncedLoop() error {
+	fleet := r.c.fleet
+	for !r.spent() {
+		window := core.Budget{Execs: fleet.Execs() + r.cfg.SyncEvery, Deadline: r.cfg.Deadline}
+		if r.cfg.Execs > 0 && window.Execs > r.cfg.Execs {
+			window.Execs = r.cfg.Execs
+		}
+		fleet.Drive(r.stop, window, r.windowHook)
+		if r.ctx.Err() != nil {
+			// Canceled mid-window: don't run the exchange against a dead
+			// context just to emit one canceled SyncWindowEvent per
+			// attachment. Claim the stop first — this exit may observe
+			// the cancellation before the watcher goroutine does.
+			r.stopForContext()
+			return nil
+		}
+		r.syncAll()
+	}
+	if r.ctx.Err() != nil {
+		// A flush against a dead context cannot succeed — skip it whether
+		// the cancellation or a graceful Stop ended the session; loop()
+		// decides the reported outcome from who stopped it.
+		r.stopForContext()
+		return nil
+	}
+	return r.syncAll()
+}
+
+// relayLoop serves attachments without fuzzing: one sync-and-report round
+// per RelayEvery tick until the session is stopped or its deadline
+// passes. Like syncedLoop, a graceful end gets a final flush — a relay
+// stopped right after absorbing a peer's push must hand it onward before
+// shutting down — while a context cancellation skips it.
+func (r *Run) relayLoop() error {
+	tick := time.NewTicker(r.cfg.RelayEvery)
+	defer tick.Stop()
+	// The deadline gets its own wake-up: a relay sleeping out a long
+	// RelayEvery period must still stop at the configured wall-clock
+	// instant, not at the next tick after it.
+	var deadlineCh <-chan time.Time
+	if !r.cfg.Deadline.IsZero() {
+		deadline := time.NewTimer(time.Until(r.cfg.Deadline))
+		defer deadline.Stop()
+		deadlineCh = deadline.C
+	}
+	var lastErr error
+	for {
+		if r.spent() {
+			if r.ctx.Err() == nil {
+				lastErr = r.syncAll() // final flush on a graceful end
+			}
+			return lastErr // a cancellation outcome is decided by loop()
+		}
+		select {
+		case <-r.stop:
+			continue // re-check spent and return
+		case <-deadlineCh:
+			continue // re-check spent and return
+		case <-tick.C:
+			lastErr = r.syncAll()
+			r.c.fleet.PublishStats()
+			r.emit(StatsEvent{Stats: r.c.fleet.StatsApprox(), Elapsed: time.Since(r.start)})
+		}
+	}
+}
+
+// spent reports whether the session should end: stopped, exec budget
+// reached, or deadline passed. Called between windows on the session
+// goroutine only.
+func (r *Run) spent() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+	}
+	if r.cfg.Execs > 0 && r.c.fleet.Execs() >= r.cfg.Execs {
+		return true
+	}
+	if !r.cfg.Deadline.IsZero() && !time.Now().Before(r.cfg.Deadline) {
+		return true
+	}
+	return false
+}
+
+// syncAll runs one remote window on every active attachment, emitting a
+// SyncWindowEvent per exchange, and returns the first error (the
+// mesh/leaf convention).
+func (r *Run) syncAll() error {
+	var firstErr error
+	for _, a := range r.syncers {
+		began := time.Now()
+		err := a.sync(r.ctx)
+		r.emit(SyncWindowEvent{
+			Attachment: a.kind(),
+			Addr:       a.addr(),
+			Execs:      r.c.fleet.ExecsApprox(),
+			Elapsed:    time.Since(began),
+			Err:        err,
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// runAttached is the deprecated RunSynced/RunSyncedUntil wrappers'
+// common body: one blocking session with the given budget and a single
+// borrowed attachment.
+func runAttached(c *Campaign, cfg RunConfig, att Attachment) error {
+	cfg.Attach = []Attachment{att}
+	r, err := c.Start(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// windowHook is the driver's per-merge-window observer, called on worker
+// goroutines: it turns window facts into stream events.
+func (r *Run) windowHook(w core.WindowInfo) {
+	for _, rec := range w.NewCrashes {
+		key := crash.RecordKey(rec)
+		r.crashMu.Lock()
+		dup := r.crashSeen[key]
+		r.crashSeen[key] = true
+		r.crashMu.Unlock()
+		if !dup {
+			r.emit(CrashEvent{Record: rec, Worker: w.Worker})
+		}
+	}
+	if w.NewEdges > 0 {
+		r.emit(NewCoverageEvent{Edges: w.Edges, Delta: w.NewEdges, Worker: w.Worker})
+	}
+	every := int64(r.cfg.StatsEvery)
+	if every <= 0 {
+		return
+	}
+	for {
+		next := atomic.LoadInt64(&r.statsNext)
+		if int64(w.FleetExecs) < next {
+			return
+		}
+		// Jump past the current count so a burst of windows yields one
+		// event, not a backlog.
+		target := (int64(w.FleetExecs)/every + 1) * every
+		if atomic.CompareAndSwapInt64(&r.statsNext, next, target) {
+			r.emit(StatsEvent{Stats: r.c.fleet.StatsApprox(), Elapsed: time.Since(r.start)})
+			return
+		}
+	}
+}
