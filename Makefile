@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci check build vet test race fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet clean
+.PHONY: ci check build vet test race fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet bench-sched clean
 
 ci: build vet test race docs-check api-check
 
@@ -22,13 +22,15 @@ test:
 
 # The parallel campaign runner and the session API must be data-race
 # free: every TestParallel* test (core fleet, public API, crash bank
-# concurrency), the deadline-aware loop, and the TestStart* session suite
+# concurrency), the deadline-aware loop, the TestStart* session suite
 # (cancellation mid-window, Stop during a mesh sync exchange,
-# double-Stop/Wait idempotence, concurrent Snapshot) under -race. The
-# fleetnet loopback suite (hub + concurrent leaves) runs under -race in
-# docs-check, which ci and check both include.
+# double-Stop/Wait idempotence, concurrent Snapshot), and the adaptive
+# scheduler's determinism/session suite (TestAdaptive*/TestSched*,
+# fleet-published stats atomics) under -race. The fleetnet loopback suite
+# (hub + concurrent leaves) runs under -race in docs-check, which ci and
+# check both include.
 race:
-	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil|TestStart' ./internal/core ./internal/crash ./peachstar
+	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil|TestStart|TestAdaptive|TestSched' ./internal/core ./internal/crash ./peachstar
 
 # Documentation gate: vet (which checks doc-comment placement pragmas),
 # a package-doc presence check over every library package, and the
@@ -49,6 +51,8 @@ docs-check:
 	  fi; \
 	done; \
 	test -f ARCHITECTURE.md || { echo "docs-check: ARCHITECTURE.md missing"; fail=1; }; \
+	grep -q "Scheduler & distillation" ARCHITECTURE.md 2>/dev/null \
+	  || { echo "docs-check: ARCHITECTURE.md lost the 'Scheduler & distillation' section"; fail=1; }; \
 	exit $$fail
 	$(GO) test -race ./internal/fleetnet
 
@@ -95,6 +99,14 @@ bench-fleetnet:
 	$(GO) run ./cmd/benchfleetnet -window 256
 	$(GO) run ./cmd/benchfleetnet -window 1024
 	$(GO) run ./cmd/benchfleetnet -mesh -window 1024
+
+# Static vs adaptive scheduler at equal budget and seed on four protocol
+# targets: emits the BENCH_sched.json measurement fields (edges, paths,
+# corpus size, distillations, ns/exec per configuration) as JSON on
+# stdout. Paste into the "measurements" slot of BENCH_sched.json when
+# recording a scheduler change.
+bench-sched:
+	$(GO) run ./cmd/benchsched
 
 clean:
 	$(GO) clean -testcache

@@ -55,6 +55,7 @@ func main() {
 		advertise  = flag.String("advertise", "", "externally dialable address peers should reach this node at (with -mesh; default: the bound -mesh address)")
 		syncEvery  = flag.Int("sync-every", 1024, "executions between fleet syncs (with -connect or -mesh)")
 		seedStream = flag.Int("seed-stream", 0, "RNG stream offset for this node's workers; give each leaf a disjoint range")
+		adaptive   = flag.Bool("adaptive", false, "enable the adaptive scheduler (learned mutator weights, rarity-weighted seeds, corpus distillation)")
 		list       = flag.Bool("list", false, "list available targets and exit")
 	)
 	flag.Parse()
@@ -98,6 +99,7 @@ func main() {
 		Seed:       *seed,
 		Workers:    *workers,
 		SeedStream: *seedStream,
+		Adaptive:   *adaptive,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -283,6 +285,12 @@ func main() {
 	s := campaign.Stats()
 	fmt.Printf("\nfinished: %d execs, %d paths, %d edges, %d unique crashes, %d hangs, corpus %d puzzles\n",
 		s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.Hangs, s.CorpusPuzzles)
+	if len(s.MutatorStats) > 0 {
+		fmt.Printf("scheduler: %d distillations; operator yields:\n", s.Distills)
+		for _, ms := range s.MutatorStats {
+			fmt.Printf("  %-24s %9d trials  %6d hits\n", ms.Name, ms.Trials, ms.Hits)
+		}
+	}
 	for i, c := range campaign.Crashes() {
 		fmt.Printf("crash %d: %s at %s (first at exec %d, seen %d times)\n  packet: %x\n",
 			i+1, c.Kind, c.Site, c.FirstExec, c.Count, c.Example)
@@ -300,6 +308,9 @@ func printEvents(r *peachstar.Run, leaf *peachstar.SyncLeaf, mnode *peachstar.Me
 		case peachstar.CrashEvent:
 			fmt.Printf("%8.1fs  NEW CRASH: %s at %s (worker %d)\n  packet: %x\n",
 				time.Since(start).Seconds(), ev.Record.Kind, ev.Record.Site, ev.Worker, ev.Record.Example)
+		case peachstar.DistillEvent:
+			fmt.Printf("%8.1fs  distilled corpus (worker %d): kept %d of %d seeds covering %d edges, dropped %d puzzles\n",
+				time.Since(start).Seconds(), ev.Worker, ev.SeedsKept, ev.SeedsKept+ev.SeedsDropped, ev.Edges, ev.PuzzlesDropped)
 		case peachstar.SyncWindowEvent:
 			if ev.Err != nil {
 				fmt.Fprintf(os.Stderr, "sync %s %s: %v (continuing locally)\n", ev.Attachment, ev.Addr, ev.Err)

@@ -46,12 +46,13 @@ func BenchmarkHotpathLibmodbus(b *testing.B) {
 }
 
 // allocGuardBudget is the steady-state allocation ceiling per execution.
-// With the byte arena threaded through the mutators the engine measures
-// ~0.5 allocs/exec in steady state (all amortized cracking, corpus and
-// valuable-queue retention — the per-exec generation path itself is
-// allocation-free); 1.0 leaves headroom without letting the arena work
-// silently rot.
-const allocGuardBudget = 1.0
+// With the byte arena threaded through the mutators and cross-model donor
+// filtering writing into engine-owned scratch (Engine.donorScr) the
+// engine measures ~0.4 allocs/exec in steady state (all amortized
+// cracking, corpus and valuable-queue retention — the per-exec generation
+// path itself is allocation-free); 0.75 leaves headroom without letting
+// the arena/scratch work silently rot.
+const allocGuardBudget = 0.75
 
 // TestSteadyStateExecAllocBudget is the allocation-regression guard for the
 // zero-allocation hot path: after warm-up, the full Peach* loop on

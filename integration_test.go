@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -102,7 +103,7 @@ func TestCampaignDeterminismAcrossTargets(t *testing.T) {
 		a.Run(800)
 		b.Run(800)
 		sa, sb := a.Stats(), b.Stats()
-		if sa != sb {
+		if !reflect.DeepEqual(sa, sb) {
 			t.Errorf("%s: campaigns diverged: %+v vs %+v", project, sa, sb)
 		}
 	}

@@ -70,6 +70,12 @@ type Config struct {
 	// CorpusPerSig bounds stored puzzles per rule signature. 0 = default.
 	CorpusPerSig int
 
+	// Adaptive enables the adaptive scheduler (see sched.go): learned
+	// per-model mutator weights, rarity-weighted seed selection, and
+	// periodic corpus distillation. Off by default; when off the engine
+	// is bit-for-bit identical to a build without the scheduler.
+	Adaptive bool
+
 	// Ablation switches (all false in the faithful configuration).
 	//
 	// DisableFixup skips the File Fixup pass on semantically generated
@@ -111,6 +117,12 @@ type Stats struct {
 	Hangs         int
 	// CorpusPuzzles is the current puzzle count (0 for baseline).
 	CorpusPuzzles int
+	// Distills is the number of corpus distillations run; 0 unless the
+	// adaptive scheduler is on.
+	Distills int
+	// MutatorStats is the adaptive scheduler's per-operator accounting,
+	// in mutator-suite order; nil unless the adaptive scheduler is on.
+	MutatorStats []MutatorStat
 }
 
 // Engine is one fuzzing campaign.
@@ -145,9 +157,15 @@ type Engine struct {
 	// valuable seeds per strategy arm.
 	semExecs, semPaths   int
 	baseExecs, basePaths int
+	// donorScr holds per-position donor scratch for semantic generation,
+	// reused across rounds so CrossModelDonorsInto filtering stays
+	// alloc-free on the hot path.
+	donorScr [][]corpus.Puzzle
 	// mut is the byte-level state of the mutation strategies (§VII
 	// future-work extension).
 	mut mutationState
+	// sched is the adaptive scheduler state (zero value = disabled).
+	sched scheduler
 }
 
 // New validates the configuration and builds an engine.
@@ -166,7 +184,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		r:        rng.New(cfg.Seed),
 		runner:   sandbox.NewRunner(cfg.Target),
@@ -176,7 +194,11 @@ func New(cfg Config) (*Engine, error) {
 		muts:     mutator.Suite(),
 		valuable: make(map[string][]valuableSeed),
 		dedup:    make(map[string]bool),
-	}, nil
+	}
+	if cfg.Adaptive {
+		e.enableAdaptive()
+	}
+	return e, nil
 }
 
 // Stats returns the current campaign snapshot.
@@ -186,6 +208,10 @@ func (e *Engine) Stats() Stats {
 	s.UniqueCrashes = e.crashes.Unique()
 	s.Hangs = e.crashes.Hangs()
 	s.CorpusPuzzles = e.corp.Len()
+	if e.sched.on {
+		s.Distills = e.sched.distills
+		s.MutatorStats = e.mutatorStats()
+	}
 	return s
 }
 
@@ -237,11 +263,20 @@ func (e *Engine) generate() {
 	// recycle them for this round.
 	e.arena.Reset()
 	if e.isMutationStrategy() {
+		if e.sched.on {
+			e.sched.beginRound(-1) // byte-level rounds carry no operator credit
+		}
 		e.pendingSemantic = false
 		e.pending = append(e.pending, e.mutationGenerate())
 		return
 	}
-	m := rng.Pick(e.r, e.cfg.Models) // CHOOSE(S_M)
+	// CHOOSE(S_M) — by index so the scheduler can attribute the round;
+	// consumes the identical RNG draw rng.Pick would (one Intn).
+	mi := e.r.Intn(len(e.cfg.Models))
+	m := e.cfg.Models[mi]
+	if e.sched.on {
+		e.sched.beginRound(mi)
+	}
 	e.pendingSemantic = false
 	if e.cfg.Strategy == StrategyPeachStar && !e.corp.Empty() && e.semanticTurn() {
 		e.semanticGenerate(m) // fills e.pending
@@ -306,8 +341,14 @@ func (e *Engine) execute(seed []byte) {
 	}
 	// Valuable-seed identification (§IV-B): did this execution reach a
 	// new program state? The merge walks only the tracer lines this
-	// execution dirtied.
-	if e.virgin.MergeTracer(e.runner.Tracer()) {
+	// execution dirtied. This decision is also the scheduler's credit
+	// assignment point: MergeTracer returning true is exactly "new edge
+	// or new hit bucket", the hit signal for the round's operators.
+	valuable := e.virgin.MergeTracer(e.runner.Tracer())
+	if e.sched.on {
+		e.observeExec(valuable)
+	}
+	if valuable {
 		e.stats.Paths++
 		if e.pendingSemantic {
 			e.semPaths++

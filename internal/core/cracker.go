@@ -15,9 +15,15 @@ const valuablePerModel = 32
 // base selection: a packet that was valuable for tripping an early
 // validation branch is a poor mutation base compared to one that ran deep
 // into the service logic.
+//
+// Under the adaptive scheduler the seed also carries the edge list of its
+// trace and a cached rarity score over it (refreshed periodically from the
+// campaign's hit counters); both stay nil/0 otherwise.
 type valuableSeed struct {
 	ins   *datamodel.Node
 	depth int
+	edges []uint16
+	score uint64
 }
 
 // crackValuable implements Algorithm 2: try to crack the valuable seed with
@@ -26,23 +32,46 @@ type valuableSeed struct {
 // instance is also retained per model as a feedback-selected base for
 // "mutation on existing chunks".
 func (e *Engine) crackValuable(seed []byte, depth int) {
+	// Under the adaptive scheduler, capture the trace's edge list once —
+	// shared by every model's retained entry and by the distillation
+	// tracker — and record which corpus puzzles this seed's cracks added.
+	var edges []uint16
+	var refs []puzzleRef
+	if e.sched.on {
+		edges = e.runner.Tracer().AppendEdges(make([]uint16, 0, depth))
+	}
 	for _, m := range e.cfg.Models { // line 4: for M in S_M
 		ins, err := m.Crack(seed) // line 5: PARSE
 		if err != nil {
 			continue // line 6: LEGAL failed
 		}
-		q := append(e.valuable[m.Name], valuableSeed{ins: ins, depth: depth})
+		q := append(e.valuable[m.Name], valuableSeed{ins: ins, depth: depth, edges: edges})
 		if len(q) > valuablePerModel {
 			q = q[1:]
 		}
 		e.valuable[m.Name] = q
-		collectPuzzles(e.corp, m.Name, ins) // lines 8-18: DFS
+		if e.sched.on {
+			_, refs = collectPuzzlesTracked(e.corp, m.Name, ins, refs)
+		} else {
+			collectPuzzles(e.corp, m.Name, ins) // lines 8-18: DFS
+		}
+	}
+	if e.sched.on {
+		e.sched.trackContributor(edges, refs)
 	}
 }
 
-// pickValuable tournament-selects a retained instance, preferring deeper
-// traces: three uniform draws, keep the deepest.
+// pickValuable selects a retained instance. Default: a tournament
+// preferring deeper traces — three uniform draws, keep the deepest. Under
+// the adaptive scheduler: one draw weighted by cached edge rarity, so
+// seeds touching rarely-reached program states become the preferred bases
+// (falling back to the tournament until the first rarity refresh).
 func (e *Engine) pickValuable(q []valuableSeed) *datamodel.Node {
+	if e.sched.on {
+		if ins := e.pickValuableRare(q); ins != nil {
+			return ins
+		}
+	}
 	best := rng.Pick(e.r, q)
 	for i := 0; i < 2; i++ {
 		if c := rng.Pick(e.r, q); c.depth > best.depth {

@@ -57,6 +57,10 @@ type WindowInfo struct {
 	// same fault found by two workers appears in both workers' windows
 	// (deduplicate by crash.RecordKey for fleet-level reporting).
 	NewCrashes []*crash.Record
+	// Distills are the corpus distillations this worker ran in this
+	// window, in execution order; nil unless the adaptive scheduler is on
+	// and a distillation cadence boundary fell inside the window.
+	Distills []DistillInfo
 }
 
 // WindowHook observes one completed merge window. It is called on worker
@@ -248,6 +252,18 @@ func (f *Fleet) publishCounters(i int) {
 	atomic.StoreInt64(&p.itersPub, int64(w.stats.Iterations))
 	atomic.StoreInt64(&p.semExecsPub, int64(w.stats.SemanticExecs))
 	atomic.StoreInt64(&p.semPathsPub, int64(w.stats.SemanticPaths))
+	if w.sched.on {
+		for mi := range p.mutTrialsPub {
+			var t, h uint64
+			for m := range w.sched.trialsAll {
+				t += w.sched.trialsAll[m][mi]
+				h += w.sched.hitsAll[m][mi]
+			}
+			atomic.StoreInt64(&p.mutTrialsPub[mi], int64(t))
+			atomic.StoreInt64(&p.mutHitsPub[mi], int64(h))
+		}
+		atomic.StoreInt64(&p.distillsPub, int64(w.sched.distills))
+	}
 }
 
 // publishWindow stores worker i's counters and the fleet-level union
@@ -274,6 +290,7 @@ func (f *Fleet) publishWindow(i int, edges, corpusLen int, hook WindowHook) {
 		Edges:       int(atomic.LoadInt64(&f.pubEdges)),
 		NewEdges:    delta,
 		NewCrashes:  newRecs,
+		Distills:    w.takeDistills(),
 	})
 }
 
@@ -344,6 +361,20 @@ func (f *Fleet) StatsApprox() Stats {
 	}
 	s.Edges = int(atomic.LoadInt64(&f.pubEdges))
 	s.CorpusPuzzles = int(atomic.LoadInt64(&f.pubCorpus))
+	if f.Adaptive() {
+		ms := make([]MutatorStat, len(f.workers[0].muts))
+		for i, m := range f.workers[0].muts {
+			ms[i].Name = m.Name()
+		}
+		for _, p := range f.peers {
+			for i := range ms {
+				ms[i].Trials += uint64(atomic.LoadInt64(&p.mutTrialsPub[i]))
+				ms[i].Hits += uint64(atomic.LoadInt64(&p.mutHitsPub[i]))
+			}
+			s.Distills += int(atomic.LoadInt64(&p.distillsPub))
+		}
+		s.MutatorStats = ms
+	}
 	bank := f.Crashes()
 	s.UniqueCrashes = bank.Unique()
 	s.Hangs = bank.Hangs()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/rng"
@@ -135,7 +136,7 @@ func TestMutationDeterministic(t *testing.T) {
 	b := newMutEngine(t, StrategyMutationStar, 9)
 	a.Run(600)
 	b.Run(600)
-	if a.Stats() != b.Stats() {
+	if !reflect.DeepEqual(a.Stats(), b.Stats()) {
 		t.Fatalf("campaigns diverged: %+v vs %+v", a.Stats(), b.Stats())
 	}
 }

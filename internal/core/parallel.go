@@ -71,6 +71,10 @@ type Fleet struct {
 	// in flight.
 	pubEdges  int64
 	pubCorpus int64
+	// adaptive is 1 when the workers run the adaptive scheduler; atomic so
+	// StatsApprox can gate on it from any goroutine after a mid-campaign
+	// EnableAdaptive.
+	adaptive int32
 }
 
 // workerPeer adapts one worker engine to the SyncPeer merge path. It holds
@@ -103,6 +107,14 @@ type workerPeer struct {
 	// this worker's unique records previous windows already reported
 	// through the WindowHook. Touched only by the worker's own goroutine.
 	crashesSeen int
+	// mutTrialsPub/mutHitsPub/distillsPub publish the worker's adaptive
+	// scheduler accounting (suite-indexed lifetime trials and hits, and
+	// the distillation count) the same way as the counters above. The
+	// slices are always allocated so a mid-campaign EnableAdaptive needs
+	// no resizing; they stay zero when the scheduler is off.
+	mutTrialsPub []int64
+	mutHitsPub   []int64
+	distillsPub  int64
 }
 
 // Exchange is the local half of the merge protocol (invoked under the
@@ -166,13 +178,34 @@ func NewFleet(cfg Config, pcfg ParallelConfig) (*Fleet, error) {
 		}
 		f.workers = append(f.workers, eng)
 		f.peers = append(f.peers, &workerPeer{
-			w:        eng,
-			selfID:   eng.corp.RegisterPeer(0),
-			sharedID: f.state.corp.RegisterPeer(0),
+			w:            eng,
+			selfID:       eng.corp.RegisterPeer(0),
+			sharedID:     f.state.corp.RegisterPeer(0),
+			mutTrialsPub: make([]int64, len(eng.muts)),
+			mutHitsPub:   make([]int64, len(eng.muts)),
 		})
+	}
+	if cfg.Adaptive {
+		atomic.StoreInt32(&f.adaptive, 1)
 	}
 	return f, nil
 }
+
+// EnableAdaptive switches every worker's adaptive scheduler on (see
+// sched.go); idempotent, and a no-op for campaigns built with
+// Config.Adaptive. Must not be called while a Drive is in flight. Enabling
+// mid-campaign is permanent: seeds retained before the switch carry no
+// edge lists and are scored minimally until re-discovered.
+func (f *Fleet) EnableAdaptive() {
+	for _, w := range f.workers {
+		w.enableAdaptive()
+	}
+	atomic.StoreInt32(&f.adaptive, 1)
+}
+
+// Adaptive reports whether the fleet's workers run the adaptive scheduler.
+// Safe to call from any goroutine.
+func (f *Fleet) Adaptive() bool { return atomic.LoadInt32(&f.adaptive) == 1 }
 
 // State exposes the fleet's shared campaign state, the attachment point for
 // the network transport: a fleetnet hub serves it to remote leaves, a
@@ -291,6 +324,23 @@ func (f *Fleet) Stats() Stats {
 		s.Paths += ws.Paths
 		s.SemanticExecs += ws.SemanticExecs
 		s.SemanticPaths += ws.SemanticPaths
+	}
+	if f.Adaptive() {
+		for _, w := range f.workers {
+			if !w.sched.on {
+				continue
+			}
+			s.Distills += w.sched.distills
+			ms := w.mutatorStats()
+			if s.MutatorStats == nil {
+				s.MutatorStats = ms
+				continue
+			}
+			for j := range ms {
+				s.MutatorStats[j].Trials += ms[j].Trials
+				s.MutatorStats[j].Hits += ms[j].Hits
+			}
+		}
 	}
 	st := f.state
 	st.mu.Lock()

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation-exact
+// tests skip under it.
+const raceEnabled = false

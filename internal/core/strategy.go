@@ -4,7 +4,6 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/coverage"
 	"repro/internal/datamodel"
-	"repro/internal/mutator"
 	"repro/internal/rng"
 )
 
@@ -69,11 +68,13 @@ func (e *Engine) skeleton(m *datamodel.Model) *datamodel.Node {
 	return m.GenerateInto(&e.arena)
 }
 
-// mutateLeaf rewrites one leaf's bytes with a randomly selected applicable
-// mutator. The new bytes come from the engine arena and live exactly as
-// long as the instance tree they are written into — one generation round.
+// mutateLeaf rewrites one leaf's bytes with a selected applicable mutator —
+// uniform by default, yield-weighted under the adaptive scheduler (see
+// pickMutator). The new bytes come from the engine arena and live exactly
+// as long as the instance tree they are written into — one generation
+// round.
 func (e *Engine) mutateLeaf(leaf *datamodel.Node) {
-	mut := mutator.Pick(e.r, e.muts, leaf.Chunk)
+	mut := e.pickMutator(leaf.Chunk)
 	if mut == nil {
 		return
 	}
@@ -98,15 +99,21 @@ func (e *Engine) semanticGenerate(m *datamodel.Model) {
 	e.leaves = skeleton.Leaves(e.leaves[:0])
 	leaves := e.leaves
 
-	// Candidate donors per position (GETDONOR, Algorithm 3 line 10).
+	// Candidate donors per position (GETDONOR, Algorithm 3 line 10). The
+	// cross-model filter writes into engine-owned per-position scratch
+	// (donorScr), the same pattern as e.cands itself, so semantic rounds
+	// allocate nothing here in steady state.
 	e.cands = e.cands[:0]
+	for len(e.donorScr) < len(leaves) {
+		e.donorScr = append(e.donorScr, nil)
+	}
 	anyDonor := false
-	for _, leaf := range leaves {
+	for i, leaf := range leaves {
 		var donors []corpus.Puzzle
 		if e.cfg.DisableCrossModel {
 			donors = e.corp.Donors(leaf.Chunk)
 		} else {
-			donors = e.corp.CrossModelDonors(leaf.Chunk, m.Name)
+			donors, e.donorScr[i] = e.corp.CrossModelDonorsInto(e.donorScr[i], leaf.Chunk, m.Name)
 		}
 		e.cands = append(e.cands, donors)
 		if len(donors) > 0 {

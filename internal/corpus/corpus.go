@@ -137,18 +137,72 @@ func (c *Corpus) Donors(chunk *datamodel.Chunk) []Puzzle {
 // model — the cross-opcode donation of §IV-D ("a valuable seed with one
 // value of the opcode can be used to optimize seed generation for other
 // values"). Falls back to all donors when no cross-model material exists.
+// It allocates a fresh slice whenever cross-model material exists; hot
+// callers use CrossModelDonorsInto with a reusable scratch slice instead.
 func (c *Corpus) CrossModelDonors(chunk *datamodel.Chunk, model string) []Puzzle {
+	donors, _ := c.CrossModelDonorsInto(nil, chunk, model)
+	return donors
+}
+
+// CrossModelDonorsInto is CrossModelDonors filtering into a caller-owned
+// scratch slice: cross-model donors are appended to dst[:0], so a caller
+// that keeps the returned scratch across calls pays no allocation once the
+// scratch has grown to its high-water mark (the e.cands pattern of the
+// engine's semantic generator, which calls this once per leaf per round).
+// donors is the result — the filtered scratch when cross-model material
+// exists, otherwise the shared full donor list (read-only, like Donors) —
+// and scratch is dst's possibly-grown backing to store back for the next
+// call. The donors slice is valid until the corpus changes or the scratch
+// is reused, whichever comes first.
+func (c *Corpus) CrossModelDonorsInto(dst []Puzzle, chunk *datamodel.Chunk, model string) (donors, scratch []Puzzle) {
 	all := c.Donors(chunk)
-	var cross []Puzzle
+	scratch = dst[:0]
 	for _, p := range all {
 		if p.Model != model {
-			cross = append(cross, p)
+			scratch = append(scratch, p)
 		}
 	}
-	if len(cross) > 0 {
-		return cross
+	if len(scratch) > 0 {
+		return scratch, scratch
 	}
-	return all
+	return all, scratch
+}
+
+// Remove drops the stored puzzle with the given rule signature and exact
+// bytes, returning true when it was present. This is the corpus-distillation
+// primitive: the scheduler removes puzzles whose source seeds fell out of
+// the minimal covering set, shrinking the donor lists (and with them what
+// MergeFrom-based full replays ship).
+//
+// Remove touches only the live store (bySig and the dedup set) — never the
+// acceptance journal or the registered peer cursors. A removed puzzle's
+// journal entry remains exactly where it was, so an incremental reader
+// resuming mid-journal still sees a well-formed tail, and replaying such an
+// entry into this corpus via Absorb simply re-adds the content (its dedup
+// key was forgotten with it); replaying it twice dedups the second copy, so
+// replay stays idempotent.
+func (c *Corpus) Remove(sig string, data []byte) bool {
+	key := dedupKey(sig, data)
+	if !c.seen[key] {
+		return false
+	}
+	list := c.bySig[sig]
+	for i, p := range list {
+		if string(p.Data) != string(data) { // comparison only; no allocation
+			continue
+		}
+		copy(list[i:], list[i+1:])
+		list[len(list)-1] = Puzzle{}
+		if len(list) == 1 {
+			delete(c.bySig, sig)
+		} else {
+			c.bySig[sig] = list[:len(list)-1]
+		}
+		delete(c.seen, key)
+		c.puzzles--
+		return true
+	}
+	return false
 }
 
 // MergeFrom folds o's puzzles into c, returning how many were new.

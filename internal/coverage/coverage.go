@@ -138,16 +138,51 @@ func (t *Tracer) PathHash() uint64 {
 func (t *Tracer) ResetEdge() { t.prev = 0 }
 
 // Snapshot copies the current coverage map. The copy is bucketed lazily by
-// the consumer; raw hit counts are preserved here.
+// the consumer; raw hit counts are preserved here. Only dirty lines are
+// copied — the untouched remainder of the map is provably zero (Hit is the
+// sole writer and marks every line it touches; Reset clears exactly the
+// dirty lines) and the fresh allocation is already zero-filled — so the
+// copy cost is proportional to the execution's footprint, not the map
+// size, identically to CountEdges/MergeTracer.
 func (t *Tracer) Snapshot() []byte {
 	out := make([]byte, MapSize)
-	copy(out, t.buf[:])
+	for wi, w := range t.dirty {
+		for ; w != 0; w &= w - 1 {
+			line := wi<<(dirtyShift+6) + bits.TrailingZeros64(w)<<dirtyShift
+			copy(out[line:line+(1<<dirtyShift)], t.buf[line:line+(1<<dirtyShift)])
+		}
+	}
 	return out
 }
 
 // Raw exposes the live map for zero-copy consumers such as Virgin.Merge.
 // Callers must not retain the slice across Reset.
 func (t *Tracer) Raw() []byte { return t.buf[:] }
+
+// AppendEdges appends the indices of the edges (non-zero bytes) lit in the
+// current map to dst and returns it, walking only dirty lines in ascending
+// index order. The adaptive scheduler uses the edge list of a valuable
+// execution as the seed's identity for rarity scoring and corpus
+// distillation.
+func (t *Tracer) AppendEdges(dst []uint16) []uint16 {
+	for wi, w := range t.dirty {
+		for ; w != 0; w &= w - 1 {
+			base := wi<<(dirtyShift+6) + bits.TrailingZeros64(w)<<dirtyShift
+			for i := base; i < base+(1<<dirtyShift); i += 8 {
+				lw := binary.LittleEndian.Uint64(t.buf[i : i+8])
+				if lw == 0 {
+					continue
+				}
+				for b := 0; b < 64; b += 8 {
+					if byte(lw>>b) != 0 {
+						dst = append(dst, uint16(i+b/8))
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
 
 // CountEdges returns the number of distinct edges (non-zero bytes) in the
 // current map, walking only dirty lines.

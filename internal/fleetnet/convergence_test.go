@@ -1,6 +1,7 @@
 package fleetnet
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -234,7 +235,7 @@ func TestSingleLeafTransportLossless(t *testing.T) {
 	}
 
 	cs, ls := control.Stats(), fleet.Stats()
-	if cs != ls {
+	if !reflect.DeepEqual(cs, ls) {
 		t.Fatalf("networked single leaf diverged:\ncontrol %+v\nleaf    %+v", cs, ls)
 	}
 }

@@ -272,6 +272,73 @@ func Pick(r *rng.RNG, suite []Mutator, c *datamodel.Chunk) Mutator {
 	return nil // unreachable
 }
 
+// PickWeighted selects a mutator applicable to the chunk with probability
+// proportional to its weight, returning it with its suite index, or
+// (nil, -1) when none applies. weights is indexed parallel to suite;
+// entries for inapplicable mutators are ignored. A nil (or short) weights
+// slice treats missing entries as weight 1, so PickWeighted(r, suite, c,
+// nil) is a uniform draw like Pick — but note it draws from the RNG
+// differently (one Uint64 over the weight total rather than one Intn over
+// the applicable count), so the two are distinct streams: the engine's
+// adaptive-off path must keep calling Pick.
+//
+// Like Pick, the applicable set is scanned in place and exactly one RNG
+// value is consumed per call with at least one applicable mutator, so the
+// choice is deterministic for a fixed RNG state and allocation-free.
+// Callers enforce the scheduler's starvation floor by never passing a zero
+// weight; a weight of 0 is tolerated (the mutator is simply never drawn)
+// unless every applicable weight is 0, which falls back to a uniform draw
+// over the applicable set so the call still consumes one value and returns
+// a mutator.
+func PickWeighted(r *rng.RNG, suite []Mutator, c *datamodel.Chunk, weights []uint32) (Mutator, int) {
+	var total uint64
+	apt := 0
+	for i, m := range suite {
+		if !m.Applies(c) {
+			continue
+		}
+		apt++
+		total += uint64(weightAt(weights, i))
+	}
+	if apt == 0 {
+		return nil, -1
+	}
+	if total == 0 {
+		// All applicable weights zero: degrade to the uniform draw.
+		k := r.Intn(apt)
+		for i, m := range suite {
+			if !m.Applies(c) {
+				continue
+			}
+			if k == 0 {
+				return m, i
+			}
+			k--
+		}
+	}
+	k := r.Uint64() % total
+	for i, m := range suite {
+		if !m.Applies(c) {
+			continue
+		}
+		w := uint64(weightAt(weights, i))
+		if k < w {
+			return m, i
+		}
+		k -= w
+	}
+	return nil, -1 // unreachable: k < total by construction
+}
+
+// weightAt reads the weight of mutator i, defaulting to 1 past the end of
+// (or without) a weights slice.
+func weightAt(weights []uint32, i int) uint32 {
+	if i >= len(weights) {
+		return 1
+	}
+	return weights[i]
+}
+
 // --- helpers ---
 
 func mask(width int) uint64 {

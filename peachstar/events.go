@@ -10,8 +10,8 @@ import "time"
 // and a slow consumer loses old progress snapshots, never crash reports.
 
 // Event is one item of a Run's event stream. The concrete types are
-// StatsEvent, NewCoverageEvent, CrashEvent, and SyncWindowEvent;
-// consumers type-switch:
+// StatsEvent, NewCoverageEvent, CrashEvent, DistillEvent, and
+// SyncWindowEvent; consumers type-switch:
 //
 //	for ev := range run.Events() {
 //		switch ev := ev.(type) {
@@ -74,6 +74,26 @@ type CrashEvent struct {
 }
 
 func (CrashEvent) event() {}
+
+// DistillEvent reports one corpus distillation of an adaptive campaign
+// (Options.Adaptive / RunConfig.Adaptive): a worker computed the greedy
+// minimal covering set over its tracked valuable seeds' edge sets and
+// pruned the puzzles of the seeds outside the cover. Emitted at the end
+// of the merge window in which the distillation ran.
+type DistillEvent struct {
+	// Worker indexes the worker that distilled its corpus.
+	Worker int
+	// SeedsKept and SeedsDropped partition the worker's tracked seeds:
+	// the kept ones cover the union edge set.
+	SeedsKept    int
+	SeedsDropped int
+	// PuzzlesDropped is how many corpus puzzles the pruning removed.
+	PuzzlesDropped int
+	// Edges is the union edge-set size the cover preserves.
+	Edges int
+}
+
+func (DistillEvent) event() {}
 
 // SyncWindowEvent reports one remote sync exchange of a leaf or mesh
 // attachment: the push/pull round trip that merges this campaign's

@@ -98,6 +98,11 @@ type BlockID = coverage.BlockID
 // worker-count-independent metric for cross-mode comparisons.
 type Stats = core.Stats
 
+// MutatorStat is one mutation operator's adaptive-scheduler accounting
+// (Stats.MutatorStats): lifetime trials and new-coverage hits, aggregated
+// across models and workers. Populated only on adaptive campaigns.
+type MutatorStat = core.MutatorStat
+
 // DefaultMergeEvery is the per-worker execution count between merges of a
 // parallel campaign's shared state — the slice granularity driving loops
 // should use when advancing a fleet incrementally.
@@ -144,6 +149,14 @@ type Options struct {
 	// workers uses SeedStream k*W — so no two hosts repeat each other's
 	// sequences while the whole fleet remains one reproducible campaign.
 	SeedStream int
+	// Adaptive enables the adaptive scheduler: learned per-model mutator
+	// weights, rarity-weighted valuable-seed selection, and periodic
+	// corpus distillation. Adaptive campaigns are reproducible for a
+	// fixed seed but follow different random streams than non-adaptive
+	// ones; with Adaptive false (the default) campaigns are bit-for-bit
+	// identical to builds that predate the scheduler. Progress surfaces
+	// as Stats.MutatorStats, Stats.Distills, and DistillEvents.
+	Adaptive bool
 }
 
 // Campaign is one fuzzing campaign. Drive it with Start (a cancellable
@@ -175,6 +188,7 @@ func NewCampaign(opts Options) (*Campaign, error) {
 			Strategy: opts.Strategy,
 			Seed:     opts.Seed,
 			MaxBatch: opts.MaxBatch,
+			Adaptive: opts.Adaptive,
 		},
 		userFactory: opts.TargetFactory,
 		seedStream:  opts.SeedStream,

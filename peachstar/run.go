@@ -85,6 +85,12 @@ type RunConfig struct {
 	// sync-and-report rounds (0 = DefaultRelayEvery). Ignored unless
 	// RelayOnly is set.
 	RelayEvery time.Duration
+	// Adaptive switches the campaign's adaptive scheduler on before the
+	// session starts (see Options.Adaptive) — for enabling it on a later
+	// session of a campaign built without it. Enabling is permanent for
+	// the campaign; false leaves the campaign's current mode unchanged
+	// (it never switches the scheduler back off).
+	Adaptive bool
 }
 
 // Attachment composes a fleet transport into a session: something a run
@@ -310,6 +316,11 @@ func (c *Campaign) Start(ctx context.Context, cfg RunConfig) (*Run, error) {
 	}
 	if cfg.RelayEvery <= 0 {
 		cfg.RelayEvery = DefaultRelayEvery
+	}
+	if cfg.Adaptive {
+		// Safe here: the one-session invariant holds (CAS above) and the
+		// fleet is quiescent until loop() starts driving it.
+		c.fleet.EnableAdaptive()
 	}
 	r := &Run{
 		c:         c,
@@ -596,6 +607,15 @@ func (r *Run) windowHook(w core.WindowInfo) {
 	}
 	if w.NewEdges > 0 {
 		r.emit(NewCoverageEvent{Edges: w.Edges, Delta: w.NewEdges, Worker: w.Worker})
+	}
+	for _, d := range w.Distills {
+		r.emit(DistillEvent{
+			Worker:         w.Worker,
+			SeedsKept:      d.SeedsKept,
+			SeedsDropped:   d.SeedsDropped,
+			PuzzlesDropped: d.PuzzlesDropped,
+			Edges:          d.Edges,
+		})
 	}
 	every := int64(r.cfg.StatsEvery)
 	if every <= 0 {

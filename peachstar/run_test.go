@@ -3,6 +3,7 @@ package peachstar
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -123,7 +124,7 @@ func TestStartWrapperEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if got, want := viaStart.Stats(), viaWrapper.Stats(); got != want {
+	if got, want := viaStart.Stats(), viaWrapper.Stats(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Start stats %+v != wrapper Run stats %+v", got, want)
 	}
 }
