@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci check build vet test race fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet bench-sched clean
+.PHONY: ci check build vet test race soak fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet bench-sched clean
 
-ci: build vet test race docs-check api-check
+ci: build vet test race docs-check api-check soak
 
 check: build vet race alloc-guard docs-check api-check
 
@@ -32,6 +32,15 @@ test:
 race:
 	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil|TestStart|TestAdaptive|TestSched' ./internal/core ./internal/crash ./peachstar
 
+# Chaos soak over the real-target execution backend: a timed campaign
+# against the bundled toy Modbus server while a chaos goroutine SIGKILLs
+# the server out from under the supervisor. The session must complete, no
+# coverage or corpus may be lost across restarts, and every captured
+# reproducer must replay without diverging (see soak_test.go). Gated behind
+# PEACHSTAR_SOAK so plain `go test ./...` stays fast and deterministic.
+soak:
+	PEACHSTAR_SOAK=1 $(GO) test -run 'TestSoakRealTarget' -count=1 -timeout 300s -v .
+
 # Documentation gate: vet (which checks doc-comment placement pragmas),
 # a package-doc presence check over every library package, and the
 # fleetnet loopback suite — including the 2-node hub/leaf convergence
@@ -41,10 +50,10 @@ race:
 docs-check:
 	@$(GO) vet ./...
 	@fail=0; \
-	for dir in internal/core internal/corpus internal/coverage internal/crash \
-	           internal/datamodel internal/fleetnet internal/mem internal/mutator \
-	           internal/pit internal/rng internal/sandbox internal/bench \
-	           internal/targets peachstar; do \
+	for dir in internal/backoff internal/core internal/corpus internal/coverage \
+	           internal/crash internal/datamodel internal/executor internal/fleetnet \
+	           internal/mem internal/mutator internal/pit internal/rng \
+	           internal/sandbox internal/bench internal/targets peachstar; do \
 	  pkg=$$(basename $$dir); \
 	  if ! grep -l "^// Package $$pkg " $$dir/*.go >/dev/null 2>&1; then \
 	    echo "docs-check: package $$dir has no '// Package $$pkg' doc comment"; fail=1; \

@@ -21,6 +21,8 @@
 //	peachstar -target libmodbus -mesh :7712 -advertise hostA:7712 -execs 100000            # mesh seed node
 //	peachstar -target libmodbus -mesh :7712 -advertise hostB:7712 -peers hostA:7712 \
 //	          -seed-stream 1 -execs 100000                                                 # joins via hostA
+//	peachstar -target libmodbus -exec-cmd "./myserver -listen {addr}" \
+//	          -exec-addr 127.0.0.1:15502 -execs 100000    # fuzz a real spawned server
 //	peachstar -list
 package main
 
@@ -56,6 +58,10 @@ func main() {
 		syncEvery  = flag.Int("sync-every", 1024, "executions between fleet syncs (with -connect or -mesh)")
 		seedStream = flag.Int("seed-stream", 0, "RNG stream offset for this node's workers; give each leaf a disjoint range")
 		adaptive   = flag.Bool("adaptive", false, "enable the adaptive scheduler (learned mutator weights, rarity-weighted seeds, corpus distillation)")
+		execCmd    = flag.String("exec-cmd", "", "spawn this command as the real fuzz target and drive it over the network ({addr} expands to -exec-addr); packets go to the process instead of the in-process sandbox")
+		execAddr   = flag.String("exec-addr", "", "host:port the spawned target serves on (required with -exec-cmd)")
+		execNet    = flag.String("exec-net", "tcp", "transport to the spawned target: tcp | udp (with -exec-cmd)")
+		execTO     = flag.Duration("exec-timeout", 200*time.Millisecond, "watchdog budget per exchange with the spawned target; an unresponsive target is recorded as a hang and restarted (with -exec-cmd)")
 		list       = flag.Bool("list", false, "list available targets and exit")
 	)
 	flag.Parse()
@@ -74,6 +80,25 @@ func main() {
 	}
 	if *mesh == "" && (*peers != "" || *advertise != "") {
 		fmt.Fprintln(os.Stderr, "-peers and -advertise only apply to -mesh nodes")
+		os.Exit(2)
+	}
+	var backend peachstar.ExecBackend
+	if *execCmd != "" {
+		if *execAddr == "" {
+			fmt.Fprintln(os.Stderr, "-exec-cmd needs -exec-addr (where the spawned target serves)")
+			os.Exit(2)
+		}
+		if *workers != 1 {
+			fmt.Fprintln(os.Stderr, "a process-backed campaign supervises one target: -exec-cmd requires -workers 1")
+			os.Exit(2)
+		}
+		backend = peachstar.WithProcOptions(strings.Fields(*execCmd), *execAddr, peachstar.ProcOptions{
+			Net:          *execNet,
+			ExecTimeout:  *execTO,
+			TargetStderr: os.Stderr,
+		})
+	} else if *execAddr != "" {
+		fmt.Fprintln(os.Stderr, "-exec-addr only applies with -exec-cmd")
 		os.Exit(2)
 	}
 
@@ -207,6 +232,10 @@ func main() {
 			SyncEvery:  *syncEvery,
 			StatsEvery: *statsEvery,
 			Attach:     attach,
+			Exec:       backend,
+		}
+		if backend != nil {
+			fmt.Printf("spawning target: %s (%s %s, watchdog %s)\n", *execCmd, *execNet, *execAddr, *execTO)
 		}
 		// Derive the stats cadence from the budget actually in force:
 		// exec-budget runs report every execs/report executions; duration
@@ -285,6 +314,9 @@ func main() {
 	s := campaign.Stats()
 	fmt.Printf("\nfinished: %d execs, %d paths, %d edges, %d unique crashes, %d hangs, corpus %d puzzles\n",
 		s.Execs, s.Paths, s.Edges, s.UniqueCrashes, s.Hangs, s.CorpusPuzzles)
+	if backend != nil {
+		fmt.Printf("target restarted %d times during the campaign\n", s.TargetRestarts)
+	}
 	if len(s.MutatorStats) > 0 {
 		fmt.Printf("scheduler: %d distillations; operator yields:\n", s.Distills)
 		for _, ms := range s.MutatorStats {
@@ -294,6 +326,9 @@ func main() {
 	for i, c := range campaign.Crashes() {
 		fmt.Printf("crash %d: %s at %s (first at exec %d, seen %d times)\n  packet: %x\n",
 			i+1, c.Kind, c.Site, c.FirstExec, c.Count, c.Example)
+		if len(c.Sequence) > 0 {
+			fmt.Printf("  reproducer: %d-packet sequence captured\n", len(c.Sequence))
+		}
 	}
 }
 

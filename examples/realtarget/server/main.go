@@ -1,0 +1,200 @@
+// Command server is the toy Modbus-TCP target the realtarget example (and
+// the executor acceptance tests) fuzz as a real process: a standalone
+// server that parses MBAP-framed requests, answers function codes 3 and 6,
+// and carries deliberately planted faults so the supervision loop has
+// something to catch —
+//
+//   - holding-register write (fc 6) to an address whose high byte is 0xDE
+//     aborts the process (two distinct exit codes for two address ranges,
+//     so crash deduplication has two signatures to separate),
+//   - function code 0x41 with a 0xDE operand wedges the connection handler
+//     in a busy loop (the watchdog's hang case),
+//   - everything else gets a well-formed response or a Modbus exception,
+//     giving the fuzzer's response-derived coverage honest signal.
+//
+// Flags: -listen host:port (default 127.0.0.1:15502), -udp to serve
+// datagrams instead of a stream.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+// Deliberate-fault exit codes: distinct codes give the supervisor distinct
+// crash signatures ("exit:41" vs "exit:42").
+const (
+	exitCrashLow  = 41 // fc6 write to 0xDExx with xx < 0x80
+	exitCrashHigh = 42 // fc6 write to 0xDExx with xx >= 0x80
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:15502", "host:port to serve on")
+	udp := flag.Bool("udp", false, "serve UDP datagrams instead of TCP")
+	flag.Parse()
+
+	if *udp {
+		serveUDP(*listen)
+		return
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: accept: %v\n", err)
+			os.Exit(1)
+		}
+		// One connection at a time: the fuzzer drives a single stream, and
+		// a crash must take the whole process down, not a goroutine.
+		serveConn(conn)
+	}
+}
+
+// serveConn handles one client stream: read an MBAP frame, handle, reply,
+// until the client goes away.
+func serveConn(conn net.Conn) {
+	defer conn.Close()
+	hdr := make([]byte, 7)
+	body := make([]byte, 256)
+	for {
+		if _, err := readFull(conn, hdr); err != nil {
+			return
+		}
+		// MBAP: transaction(2) protocol(2) length(2) unit(1); length
+		// counts unit+PDU.
+		length := int(binary.BigEndian.Uint16(hdr[4:6]))
+		if length < 2 || length > 1+len(body) {
+			// Malformed frame: drop the connection, like a server that
+			// lost framing. The fuzzer must survive this without calling
+			// it a crash.
+			return
+		}
+		pdu := body[:length-1]
+		if _, err := readFull(conn, pdu); err != nil {
+			return
+		}
+		resp := handle(hdr, pdu)
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// serveUDP is the datagram flavor: one request per packet, same PDU logic.
+func serveUDP(listen string) {
+	pc, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+	buf := make([]byte, 512)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: read: %v\n", err)
+			os.Exit(1)
+		}
+		if n < 8 {
+			continue // not even a header plus a function code: ignore
+		}
+		resp := handle(buf[:7], buf[7:n])
+		pc.WriteTo(resp, from)
+	}
+}
+
+// registers is the server's holding-register bank.
+var registers [128]uint16
+
+// handle processes one PDU and builds the response frame (MBAP header
+// echoed with the response length).
+func handle(hdr, pdu []byte) []byte {
+	if len(pdu) == 0 {
+		return exception(hdr, 0, 1) // illegal function
+	}
+	fc := pdu[0]
+	switch fc {
+	case 3: // read holding registers
+		if len(pdu) < 5 {
+			return exception(hdr, fc, 3) // illegal data value
+		}
+		addr := binary.BigEndian.Uint16(pdu[1:3])
+		count := binary.BigEndian.Uint16(pdu[3:5])
+		if count == 0 || count > 0x7D || int(addr)+int(count) > len(registers) {
+			return exception(hdr, fc, 2) // illegal data address
+		}
+		data := make([]byte, 2+1+2*count)
+		data[0] = fc
+		data[1] = byte(2 * count)
+		for i := uint16(0); i < count; i++ {
+			binary.BigEndian.PutUint16(data[2+2*i:], registers[addr+i])
+		}
+		return frame(hdr, data[:2+2*count])
+	case 6: // write single register
+		if len(pdu) < 5 {
+			return exception(hdr, fc, 3)
+		}
+		addr := binary.BigEndian.Uint16(pdu[1:3])
+		val := binary.BigEndian.Uint16(pdu[3:5])
+		if addr>>8 == 0xDE {
+			// Planted fault: a write into the 0xDExx range "corrupts" the
+			// server. Two address sub-ranges die with two distinct codes,
+			// so the fuzzer's crash bank should end up with two records.
+			fmt.Fprintf(os.Stderr, "server: fatal register corruption at %#04x\n", addr)
+			if addr&0x80 == 0 {
+				os.Exit(exitCrashLow)
+			}
+			os.Exit(exitCrashHigh)
+		}
+		if int(addr) >= len(registers) {
+			return exception(hdr, fc, 2)
+		}
+		registers[addr] = val
+		return frame(hdr, pdu[:5]) // echo, per the spec
+	case 0x41:
+		// Planted hang: the vendor-specific opcode wedges the handler when
+		// its first operand byte carries the magic 0xDE (gated so fuzzing
+		// campaigns hit it occasionally, not constantly).
+		if len(pdu) >= 2 && pdu[1] == 0xDE {
+			for {
+			}
+		}
+		return exception(hdr, fc, 1)
+	default:
+		return exception(hdr, fc, 1)
+	}
+}
+
+// frame wraps a response PDU in the request's MBAP header.
+func frame(hdr, pdu []byte) []byte {
+	out := make([]byte, 7+len(pdu))
+	copy(out, hdr[:4])
+	binary.BigEndian.PutUint16(out[4:6], uint16(1+len(pdu)))
+	out[6] = hdr[6]
+	copy(out[7:], pdu)
+	return out
+}
+
+// exception builds a Modbus exception response (function | 0x80, code).
+func exception(hdr []byte, fc, code byte) []byte {
+	return frame(hdr, []byte{fc | 0x80, code})
+}
+
+// readFull fills buf from the stream.
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	read := 0
+	for read < len(buf) {
+		n, err := conn.Read(buf[read:])
+		read += n
+		if err != nil {
+			return read, err
+		}
+	}
+	return read, nil
+}

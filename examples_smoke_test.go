@@ -21,6 +21,8 @@ func TestExamplesSmoke(t *testing.T) {
 		"./examples/vulnaudit",
 		"./examples/distributed",
 		"./examples/mesh",
+		"./examples/realtarget",
+		"./examples/realtarget/server",
 	} {
 		out, err := exec.Command("go", "build", "-o", "/dev/null", dir).CombinedOutput()
 		if err != nil {
@@ -42,5 +44,15 @@ func TestExamplesSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "mesh converged") {
 		t.Fatalf("mesh example did not converge:\n%s", out)
+	}
+
+	// The real-target example spawns an actual server process and replays
+	// its reproducers — its final line asserts every one verified.
+	out, err = exec.Command("go", "run", "./examples/realtarget", "-execs", "2500").CombinedOutput()
+	if err != nil {
+		t.Fatalf("realtarget example failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "realtarget: done (2/2 reproducers verified)") {
+		t.Fatalf("realtarget example did not verify its reproducers:\n%s", out)
 	}
 }

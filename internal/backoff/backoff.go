@@ -1,0 +1,84 @@
+// Package backoff implements capped exponential backoff with deterministic,
+// RNG-stream-seeded jitter — the retry policy shared by everything in this
+// repository that redials a peer or reconnects to a supervised process: the
+// fleetnet mesh's uplink redial schedule and the process executor's
+// connect-retry liveness probe.
+//
+// Two views of the same curve are provided, because the two consumers pace
+// themselves differently. The mesh counts *sync windows* (it only gets a
+// chance to redial once per window, so the backoff is "how many windows to
+// sit out"); the executor waits in *wall-clock time* (its probe loop owns
+// the clock). Both are min(base<<n, cap) plus a uniform jitter drawn from a
+// seeded rng.RNG stream, so a fleet of restarting nodes that all lost the
+// same peer at the same instant spreads its redials instead of thundering
+// onto the recovering process in lockstep — while any single node's
+// schedule stays reproducible for a fixed seed.
+package backoff
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Policy produces one retry schedule. The zero value is not usable; build
+// one with New. A Policy is not safe for concurrent use: each link or
+// supervisor owns its own (they are a few words each).
+type Policy struct {
+	r *rng.RNG
+}
+
+// New returns a policy whose jitter draws come from an rng stream seeded
+// with the given value. Callers that already own a campaign-seeded RNG
+// should seed with a value split or forked from it, so backoff draws never
+// perturb the fuzzing streams.
+func New(seed uint64) *Policy {
+	return &Policy{r: rng.New(seed)}
+}
+
+// Steps returns how many scheduling windows to sit out after `fails`
+// consecutive failures: min(2^(fails-1), cap) plus a jitter of up to half
+// the capped value, so two nodes with equal failure counts do not redial on
+// the same window forever. fails <= 1 returns at most 1 extra window of
+// jitter (first failures retry promptly); cap <= 0 panics via the RNG
+// bound check rather than silently disabling the cap.
+func (p *Policy) Steps(fails, cap int) int {
+	if fails < 1 {
+		return 0
+	}
+	n := fails - 1
+	// 1 << n with overflow protection: past the cap's bit width the shift
+	// is irrelevant anyway.
+	steps := cap
+	if n < 31 && (1<<uint(n)) < cap {
+		steps = 1 << uint(n)
+	}
+	return steps + p.r.Intn(steps/2+1)
+}
+
+// Delay returns the wall-clock pause before connect attempt `attempt`
+// (0-based): min(base<<attempt, max) with a uniform jitter of ±25%, floored
+// at a quarter of base so a zero-ish draw never turns into a hot spin.
+func (p *Policy) Delay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := max
+	if attempt < 31 {
+		if shifted := base << uint(attempt); shifted < max && shifted > 0 {
+			d = shifted
+		}
+	}
+	// Jitter in [-25%, +25%], quantized to the nanosecond by the RNG draw.
+	span := int(d / 2)
+	if span > 0 {
+		d = d*3/4 + time.Duration(p.r.Intn(span+1))
+	}
+	if d < base/4 {
+		d = base / 4
+	}
+	return d
+}

@@ -1,0 +1,79 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStepsCurve: the window-count schedule grows exponentially, respects
+// the cap (including jitter headroom of at most half the capped value), and
+// first failures retry promptly.
+func TestStepsCurve(t *testing.T) {
+	p := New(7)
+	if got := p.Steps(0, 8); got != 0 {
+		t.Fatalf("Steps(0) = %d, want 0", got)
+	}
+	for fails := 1; fails <= 20; fails++ {
+		base := 1 << uint(fails-1)
+		if base > 8 {
+			base = 8
+		}
+		for i := 0; i < 100; i++ {
+			got := p.Steps(fails, 8)
+			if got < base || got > base+base/2 {
+				t.Fatalf("Steps(%d, 8) = %d, want in [%d, %d]", fails, got, base, base+base/2)
+			}
+		}
+	}
+}
+
+// TestStepsJitterSpreads: two policies with different seeds produce
+// different schedules at equal failure counts — the anti-thundering-herd
+// property — while a fixed seed reproduces its schedule exactly.
+func TestStepsJitterSpreads(t *testing.T) {
+	a, b := New(1), New(2)
+	differ := false
+	for i := 0; i < 64 && !differ; i++ {
+		differ = a.Steps(6, 8) != b.Steps(6, 8)
+	}
+	if !differ {
+		t.Fatal("seeds 1 and 2 produced identical 64-draw schedules; jitter is not seed-dependent")
+	}
+	c, d := New(42), New(42)
+	for i := 0; i < 64; i++ {
+		if c.Steps(5, 8) != d.Steps(5, 8) {
+			t.Fatal("equal seeds diverged; schedule is not reproducible")
+		}
+	}
+}
+
+// TestDelayCurve: the wall-clock schedule doubles from base, caps at max,
+// and stays within the ±25% jitter envelope.
+func TestDelayCurve(t *testing.T) {
+	p := New(3)
+	base, max := 10*time.Millisecond, 500*time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		ideal := base << uint(attempt)
+		if ideal > max || ideal <= 0 {
+			ideal = max
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Delay(base, max, attempt)
+			if d < ideal*3/4 || d > ideal*5/4 {
+				t.Fatalf("Delay(attempt=%d) = %v, want within ±25%% of %v", attempt, d, ideal)
+			}
+		}
+	}
+}
+
+// TestDelayDegenerateInputs: zero/inverted bounds are repaired rather than
+// producing zero-length (hot-spin) delays.
+func TestDelayDegenerateInputs(t *testing.T) {
+	p := New(9)
+	if d := p.Delay(0, 0, 5); d <= 0 {
+		t.Fatalf("Delay with zero bounds = %v, want > 0", d)
+	}
+	if d := p.Delay(time.Second, time.Millisecond, 0); d < time.Second/4 {
+		t.Fatalf("Delay with max < base = %v, want >= base/4", d)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/crash"
 	"repro/internal/datamodel"
+	"repro/internal/executor"
 	"repro/internal/mutator"
 	"repro/internal/rng"
 	"repro/internal/sandbox"
@@ -58,6 +59,14 @@ type Config struct {
 	Models []*datamodel.Model
 	// Target is the instrumented protocol program under test.
 	Target sandbox.Target
+	// Executor, when non-nil, overrides the execution backend: the engine
+	// runs every generated seed through it instead of building an
+	// in-process sandbox over Target. The engine borrows the executor (the
+	// caller that built it closes it) and reads coverage from its Tracer.
+	// When nil — the default every existing campaign uses — the engine
+	// wraps Target in the in-process backend, which is bit-for-bit
+	// identical to the pre-interface sandbox path.
+	Executor executor.Executor
 	// Strategy selects Peach or Peach*.
 	Strategy Strategy
 	// Seed drives all randomness; equal seeds give equal campaigns.
@@ -117,6 +126,10 @@ type Stats struct {
 	Hangs         int
 	// CorpusPuzzles is the current puzzle count (0 for baseline).
 	CorpusPuzzles int
+	// TargetRestarts is how many times the execution backend respawned a
+	// supervised target process (crash recoveries, watchdog kills,
+	// preventive journal restarts); always 0 for in-process campaigns.
+	TargetRestarts int
 	// Distills is the number of corpus distillations run; 0 unless the
 	// adaptive scheduler is on.
 	Distills int
@@ -129,8 +142,14 @@ type Stats struct {
 type Engine struct {
 	cfg     Config
 	r       *rng.RNG
-	runner  *sandbox.Runner
-	virgin  *virginState
+	exec    executor.Executor
+	execErr error // first unrecoverable backend failure; sticky
+	// restartsAccum carries the target-restart counts of previous
+	// executors across SwapExecutor boundaries, so a campaign's
+	// TargetRestarts survives the session restoring the in-process
+	// backend.
+	restartsAccum int
+	virgin        *virginState
 	corp    *corpus.Corpus
 	crashes *crash.Bank
 	muts    []mutator.Mutator
@@ -173,7 +192,7 @@ func New(cfg Config) (*Engine, error) {
 	if len(cfg.Models) == 0 {
 		return nil, fmt.Errorf("core: no data models")
 	}
-	if cfg.Target == nil {
+	if cfg.Target == nil && cfg.Executor == nil {
 		return nil, fmt.Errorf("core: no target")
 	}
 	for _, m := range cfg.Models {
@@ -184,10 +203,14 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	ex := cfg.Executor
+	if ex == nil {
+		ex = executor.NewInProc(cfg.Target)
+	}
 	e := &Engine{
 		cfg:      cfg,
 		r:        rng.New(cfg.Seed),
-		runner:   sandbox.NewRunner(cfg.Target),
+		exec:     ex,
 		virgin:   newVirginState(),
 		corp:     corpus.New(cfg.CorpusPerSig),
 		crashes:  crash.NewBank(),
@@ -212,11 +235,47 @@ func (e *Engine) Stats() Stats {
 		s.Distills = e.sched.distills
 		s.MutatorStats = e.mutatorStats()
 	}
+	s.TargetRestarts = e.execRestarts()
 	return s
+}
+
+// execRestarts is the campaign-lifetime target-restart count: restarts
+// accumulated from swapped-out backends plus the live backend's own.
+func (e *Engine) execRestarts() int {
+	n := e.restartsAccum
+	if rp, ok := e.exec.(interface{ Restarts() int }); ok {
+		n += rp.Restarts()
+	}
+	return n
 }
 
 // Crashes exposes the crash bank for reporting.
 func (e *Engine) Crashes() *crash.Bank { return e.crashes }
+
+// Executor exposes the engine's execution backend.
+func (e *Engine) Executor() executor.Executor { return e.exec }
+
+// SwapExecutor replaces the engine's execution backend, returning the
+// previous one. The caller owns both lifecycles; swapping mid-campaign is
+// the session layer's mechanism for attaching a real-target backend to an
+// engine built with the default in-process one. A sticky backend error is
+// cleared: it described the outgoing backend, and the campaign must be
+// able to continue on the new one.
+func (e *Engine) SwapExecutor(x executor.Executor) executor.Executor {
+	prev := e.exec
+	if rp, ok := prev.(interface{ Restarts() int }); ok {
+		e.restartsAccum += rp.Restarts()
+	}
+	e.exec = x
+	e.execErr = nil
+	return prev
+}
+
+// ExecError returns the first unrecoverable execution-backend failure, or
+// nil. Once set, further Steps stop executing: the backend is gone (spawn
+// retries exhausted, target binary missing) and the campaign cannot make
+// progress.
+func (e *Engine) ExecError() error { return e.execErr }
 
 // Corpus exposes the puzzle corpus for reporting and examples.
 func (e *Engine) Corpus() *corpus.Corpus { return e.corp }
@@ -241,9 +300,9 @@ func (e *Engine) Step() int {
 }
 
 // Run executes steps until at least execBudget target executions have been
-// performed.
+// performed, or the execution backend fails unrecoverably (ExecError).
 func (e *Engine) Run(execBudget int) {
-	for e.stats.Execs < execBudget {
+	for e.stats.Execs < execBudget && e.execErr == nil {
 		e.Step()
 	}
 }
@@ -315,6 +374,9 @@ func (e *Engine) semanticTurn() bool {
 
 // execute runs one seed and processes coverage and crash feedback.
 func (e *Engine) execute(seed []byte) {
+	if e.execErr != nil {
+		return
+	}
 	e.stats.Execs++
 	if e.pendingSemantic {
 		e.semExecs++
@@ -332,19 +394,28 @@ func (e *Engine) execute(seed []byte) {
 		e.baseExecs = e.baseExecs * 3 / 4
 		e.basePaths = e.basePaths * 3 / 4
 	}
-	res := e.runner.Run(seed)
+	res, err := e.exec.Run(seed)
+	if err != nil {
+		// Unrecoverable backend failure. The exec was already counted, so
+		// budget-driven loops still terminate; the sticky error makes the
+		// drivers stop early and surfaces in the campaign result.
+		if e.execErr == nil {
+			e.execErr = err
+		}
+		return
+	}
 	switch res.Outcome {
 	case sandbox.Crash:
-		e.crashes.Report(res.Fault, seed, e.stats.Execs, res.PathSig)
+		e.crashes.ReportSequence(res.Fault, seed, res.Repro, e.stats.Execs, res.PathSig)
 	case sandbox.Hang:
-		e.crashes.ReportHang()
+		e.crashes.ReportHangDetail(res.HangSteps, seed)
 	}
 	// Valuable-seed identification (§IV-B): did this execution reach a
 	// new program state? The merge walks only the tracer lines this
 	// execution dirtied. This decision is also the scheduler's credit
 	// assignment point: MergeTracer returning true is exactly "new edge
 	// or new hit bucket", the hit signal for the round's operators.
-	valuable := e.virgin.MergeTracer(e.runner.Tracer())
+	valuable := e.virgin.MergeTracer(e.exec.Tracer())
 	if e.sched.on {
 		e.observeExec(valuable)
 	}
@@ -361,7 +432,7 @@ func (e *Engine) execute(seed []byte) {
 		}
 		star := e.cfg.Strategy == StrategyPeachStar || e.cfg.Strategy == StrategyMutationStar
 		if star && !e.cfg.DisableCracker {
-			e.crackValuable(seed, e.runner.Tracer().CountEdges())
+			e.crackValuable(seed, e.exec.Tracer().CountEdges())
 		}
 	}
 }

@@ -38,7 +38,7 @@ func (e *Engine) crackValuable(seed []byte, depth int) {
 	var edges []uint16
 	var refs []puzzleRef
 	if e.sched.on {
-		edges = e.runner.Tracer().AppendEdges(make([]uint16, 0, depth))
+		edges = e.exec.Tracer().AppendEdges(make([]uint16, 0, depth))
 	}
 	for _, m := range e.cfg.Models { // line 4: for M in S_M
 		ins, err := m.Crack(seed) // line 5: PARSE

@@ -166,7 +166,7 @@ func (f *Fleet) driveWorker(stop <-chan struct{}, w *Engine, i, target int, dead
 		if hasTarget && window > target {
 			window = target
 		}
-		for w.stats.Execs < window {
+		for w.stats.Execs < window && w.execErr == nil {
 			if hasDeadline && !time.Now().Before(deadline) {
 				break
 			}
@@ -174,6 +174,11 @@ func (f *Fleet) driveWorker(stop <-chan struct{}, w *Engine, i, target int, dead
 		}
 		edges, corpusLen := f.syncWindow(i)
 		f.publishWindow(i, edges, corpusLen, hook)
+		if w.execErr != nil {
+			// Unrecoverable backend: the in-flight window was synced and
+			// reported, but no further fuzzing is possible on this worker.
+			return
+		}
 	}
 }
 
@@ -199,7 +204,7 @@ func (f *Fleet) driveSerial(stop <-chan struct{}, b Budget, hook WindowHook) {
 		if b.Execs > 0 && window > b.Execs {
 			window = b.Execs
 		}
-		for w.stats.Execs < window {
+		for w.stats.Execs < window && w.execErr == nil {
 			if hasDeadline && !time.Now().Before(b.Deadline) {
 				break
 			}
@@ -207,6 +212,10 @@ func (f *Fleet) driveSerial(stop <-chan struct{}, b Budget, hook WindowHook) {
 		}
 		edges, corpusLen := f.serialFigures()
 		f.publishWindow(0, edges, corpusLen, hook)
+		if w.execErr != nil {
+			// Unrecoverable backend: final figures are published; stop.
+			return
+		}
 	}
 }
 
@@ -252,6 +261,7 @@ func (f *Fleet) publishCounters(i int) {
 	atomic.StoreInt64(&p.itersPub, int64(w.stats.Iterations))
 	atomic.StoreInt64(&p.semExecsPub, int64(w.stats.SemanticExecs))
 	atomic.StoreInt64(&p.semPathsPub, int64(w.stats.SemanticPaths))
+	atomic.StoreInt64(&p.restartsPub, int64(w.execRestarts()))
 	if w.sched.on {
 		for mi := range p.mutTrialsPub {
 			var t, h uint64
@@ -358,6 +368,7 @@ func (f *Fleet) StatsApprox() Stats {
 		s.Iterations += int(atomic.LoadInt64(&p.itersPub))
 		s.SemanticExecs += int(atomic.LoadInt64(&p.semExecsPub))
 		s.SemanticPaths += int(atomic.LoadInt64(&p.semPathsPub))
+		s.TargetRestarts += int(atomic.LoadInt64(&p.restartsPub))
 	}
 	s.Edges = int(atomic.LoadInt64(&f.pubEdges))
 	s.CorpusPuzzles = int(atomic.LoadInt64(&f.pubCorpus))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/coverage"
 	"repro/internal/crash"
+	"repro/internal/executor"
 	"repro/internal/rng"
 	"repro/internal/sandbox"
 )
@@ -103,6 +104,7 @@ type workerPeer struct {
 	itersPub    int64
 	semExecsPub int64
 	semPathsPub int64
+	restartsPub int64
 	// crashesSeen is the driver's per-worker crash watermark: how many of
 	// this worker's unique records previous windows already reported
 	// through the WindowHook. Touched only by the worker's own goroutine.
@@ -229,6 +231,30 @@ func (f *Fleet) SyncAll() {
 // Workers returns the fleet's parallelism.
 func (f *Fleet) Workers() int { return len(f.workers) }
 
+// SwapExecutor replaces the lone worker's execution backend, returning the
+// previous one — how the session layer attaches a real-target backend to a
+// campaign. A supervised process serves one connection-driving worker, so
+// multi-worker fleets are refused; run several processes under several
+// campaigns instead. Must not be called while a Drive is in flight.
+func (f *Fleet) SwapExecutor(x executor.Executor) (executor.Executor, error) {
+	if len(f.workers) != 1 {
+		return nil, fmt.Errorf("core: a process-backed campaign needs exactly 1 worker, fleet has %d", len(f.workers))
+	}
+	return f.workers[0].SwapExecutor(x), nil
+}
+
+// ExecError returns the first unrecoverable execution-backend failure any
+// worker hit, or nil. A failed backend stops its worker's loop early; the
+// campaign result carries this error.
+func (f *Fleet) ExecError() error {
+	for _, w := range f.workers {
+		if w.execErr != nil {
+			return w.execErr
+		}
+	}
+	return nil
+}
+
 // Execs returns the total executions performed so far — the budget
 // arithmetic accessor. Unlike Stats it merges nothing, so driving loops can
 // call it every slice without touching the shared state. Like Stats it must
@@ -324,6 +350,7 @@ func (f *Fleet) Stats() Stats {
 		s.Paths += ws.Paths
 		s.SemanticExecs += ws.SemanticExecs
 		s.SemanticPaths += ws.SemanticPaths
+		s.TargetRestarts += w.execRestarts()
 	}
 	if f.Adaptive() {
 		for _, w := range f.workers {

@@ -282,7 +282,7 @@ func (s *scheduler) modelWeights() []uint32 {
 // refresh and distillation countdowns.
 func (e *Engine) observeExec(valuable bool) {
 	s := &e.sched
-	s.hitCounts.AccumulateTracer(e.runner.Tracer())
+	s.hitCounts.AccumulateTracer(e.exec.Tracer())
 	if valuable && s.curModel >= 0 {
 		for _, mut := range s.roundMuts {
 			s.hits[s.curModel][mut]++

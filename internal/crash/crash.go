@@ -29,7 +29,40 @@ type Record struct {
 	// budget a worker hit this", not a campaign-global position.
 	FirstExec int
 	PathSig   uint64 // coverage signature of the first triggering run
+	// Sequence, when non-nil, is the replayable reproducer: the exact
+	// packet sequence (oldest first, Example last) that drove a
+	// supervised target process from a fresh start to this fault. Replay
+	// it against a fresh instance to reproduce the same crash signature.
+	// Nil for in-process faults, which single-packet Example reproduces,
+	// and for records received over the fleet sync wire.
+	Sequence [][]byte
 }
+
+// HangRecord is one class of hanging execution, keyed by the offending
+// packet's prefix: the context a hang report needs to be triaged — how much
+// budget the execution was allowed before the supervisor classified it as
+// hung (the sandbox's step budget, or the process executor's watchdog
+// timeout in milliseconds), and the input that drove it there.
+type HangRecord struct {
+	// Budget is the exhausted allowance: steps for in-process targets,
+	// watchdog milliseconds for supervised processes.
+	Budget int
+	// Prefix is the offending packet's first HangPrefixLen bytes.
+	Prefix []byte
+	// Count is the number of hanging executions in this class.
+	Count int
+}
+
+// HangPrefixLen bounds the packet prefix retained per hang class: enough
+// to identify the opcode and leading structure that wedged the target,
+// bounded so a campaign's hang bank never holds unbounded input bytes.
+const HangPrefixLen = 32
+
+// maxHangClasses bounds the number of distinct hang classes retained;
+// further classes are tallied in the hang count only. Hangs beyond a few
+// dozen distinct prefixes are a property of the target, not new triage
+// information.
+const maxHangClasses = 64
 
 // Key returns the deduplication identity of a fault.
 func Key(f *mem.Fault) string {
@@ -51,9 +84,11 @@ func recordKey(r *Record) string { return RecordKey(r) }
 // banks while a monitor may snapshot records, and the shard runner merges
 // worker banks into a campaign-level one.
 type Bank struct {
-	mu    sync.Mutex
-	byKey map[string]*Record
-	hangs int
+	mu        sync.Mutex
+	byKey     map[string]*Record
+	hangs     int
+	hangByKey map[string]*HangRecord
+	hangOrder []*HangRecord
 }
 
 // NewBank returns an empty crash bank.
@@ -64,6 +99,15 @@ func NewBank() *Bank {
 // Report records one crashing execution. It returns true when the fault is
 // new (a previously unseen unique vulnerability).
 func (b *Bank) Report(f *mem.Fault, packet []byte, execIndex int, pathSig uint64) bool {
+	return b.ReportSequence(f, packet, nil, execIndex, pathSig)
+}
+
+// ReportSequence is Report for a fault found by a supervised target
+// process: seq, when non-nil, is the replayable reproducer journal (the
+// packet sequence since the process last started, packet last). The
+// sequence travels with the record that owns the example packet: the first
+// observation of the fault keeps its journal, later duplicates only count.
+func (b *Bank) ReportSequence(f *mem.Fault, packet []byte, seq [][]byte, execIndex int, pathSig uint64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	k := Key(f)
@@ -80,16 +124,97 @@ func (b *Bank) Report(f *mem.Fault, packet []byte, execIndex int, pathSig uint64
 		Count:     1,
 		FirstExec: execIndex,
 		PathSig:   pathSig,
+		Sequence:  copySequence(seq),
 	}
 	return true
 }
 
-// ReportHang counts a hanging execution. Hangs are tallied but not treated
-// as unique vulnerabilities (the paper's Table I lists memory faults only).
+// copySequence deep-copies a reproducer journal so the bank's record is
+// detached from the executor's live buffers.
+func copySequence(seq [][]byte) [][]byte {
+	if seq == nil {
+		return nil
+	}
+	out := make([][]byte, len(seq))
+	for i, p := range seq {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// ReportHang counts a hanging execution with no context — the legacy entry
+// point, kept for callers that have nothing more to say. Prefer
+// ReportHangDetail.
 func (b *Bank) ReportHang() {
 	b.mu.Lock()
 	b.hangs++
 	b.mu.Unlock()
+}
+
+// ReportHangDetail counts a hanging execution and files its triage
+// context: the exhausted budget (steps or watchdog milliseconds) and the
+// offending packet, classed by its HangPrefixLen-byte prefix. At most
+// maxHangClasses distinct classes are retained; the hang tally is always
+// exact.
+func (b *Bank) ReportHangDetail(budget int, packet []byte) {
+	prefix := packet
+	if len(prefix) > HangPrefixLen {
+		prefix = prefix[:HangPrefixLen]
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hangs++
+	if b.hangByKey == nil {
+		b.hangByKey = make(map[string]*HangRecord)
+	}
+	k := string(prefix)
+	if h, ok := b.hangByKey[k]; ok {
+		h.Count++
+		return
+	}
+	if len(b.hangOrder) >= maxHangClasses {
+		return
+	}
+	h := &HangRecord{
+		Budget: budget,
+		Prefix: append([]byte(nil), prefix...),
+		Count:  1,
+	}
+	b.hangByKey[k] = h
+	b.hangOrder = append(b.hangOrder, h)
+}
+
+// mergeHangLocked folds one already-detached hang class into the bank's
+// hang bank (caller holds b.mu). Counts of a shared prefix class are
+// summed; the hang tally itself is merged separately by the caller.
+func (b *Bank) mergeHangLocked(h *HangRecord) {
+	if b.hangByKey == nil {
+		b.hangByKey = make(map[string]*HangRecord)
+	}
+	k := string(h.Prefix)
+	if have, ok := b.hangByKey[k]; ok {
+		have.Count += h.Count
+		return
+	}
+	if len(b.hangOrder) >= maxHangClasses {
+		return
+	}
+	b.hangByKey[k] = h
+	b.hangOrder = append(b.hangOrder, h)
+}
+
+// HangRecords returns the retained hang classes in first-observation
+// order, as detached copies.
+func (b *Bank) HangRecords() []*HangRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*HangRecord, 0, len(b.hangOrder))
+	for _, h := range b.hangOrder {
+		cp := *h
+		cp.Prefix = append([]byte(nil), h.Prefix...)
+		out = append(out, &cp)
+	}
+	return out
 }
 
 // Unique returns the number of unique faults found.
@@ -130,9 +255,13 @@ func (b *Bank) Records() []*Record {
 func (b *Bank) MergeFrom(o *Bank) int {
 	recs := o.Records() // snapshot under o's lock, released before taking b's
 	hangs := o.Hangs()
+	hangRecs := o.HangRecords()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.hangs += hangs
+	for _, h := range hangRecs {
+		b.mergeHangLocked(h)
+	}
 	added := 0
 	for _, r := range recs {
 		k := recordKey(r)

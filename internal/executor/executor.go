@@ -1,0 +1,73 @@
+// Package executor defines the pluggable execution backend behind the
+// fuzzing engine: the one seam through which a generated packet becomes an
+// observed outcome.
+//
+// The paper's fuzzer supervises a *separate instrumented server process*
+// (Algorithm 1: RUNTARGET, with CRASH and HANG observed by the
+// supervisor); this repository's targets have historically been in-process
+// Go reimplementations run under internal/sandbox. This package makes the
+// choice explicit:
+//
+//   - InProc wraps the sandbox runner unchanged — the fast, bit-for-bit
+//     deterministic conformance tier every existing campaign runs on.
+//   - Proc spawns and supervises a real server process, drives it over
+//     TCP or UDP, detects crashes from connection resets and exit
+//     statuses, classifies unresponsive targets as hangs with a watchdog,
+//     restarts the target with campaign state preserved, and journals the
+//     exact packet sequence since the last restart so every crash ships
+//     with a replayable reproducer.
+//
+// The engine (internal/core) talks only to the Executor interface; which
+// tier a campaign runs on is configuration.
+package executor
+
+import (
+	"repro/internal/coverage"
+	"repro/internal/sandbox"
+)
+
+// Executor runs one generated packet against the target and classifies the
+// outcome. Implementations own a coverage tracer that, after each Run,
+// holds exactly that execution's coverage map — the engine merges it into
+// the campaign's virgin state and hashes it for path signatures.
+//
+// Run returns an error only for backend-infrastructure failures the
+// executor cannot recover by itself (the target binary is missing, the
+// spawn loop exhausted its retries); target crashes and hangs are normal
+// Results. An Executor is not safe for concurrent use; each fuzzing worker
+// owns one.
+type Executor interface {
+	// Run executes one packet and classifies what happened.
+	Run(packet []byte) (sandbox.Result, error)
+	// Tracer exposes the coverage map of the most recent Run.
+	Tracer() *coverage.Tracer
+	// Close releases the backend (kills a supervised process, closes its
+	// connection). Idempotent.
+	Close() error
+}
+
+// InProc is the in-process execution backend: the sandbox runner behind
+// the Executor interface. It adds nothing and changes nothing — a campaign
+// on an InProc executor is bit-for-bit identical to one built before the
+// interface existed, which the golden-fingerprint tests pin.
+type InProc struct {
+	r *sandbox.Runner
+}
+
+// NewInProc returns an in-process executor over the given target.
+func NewInProc(t sandbox.Target) *InProc {
+	return &InProc{r: sandbox.NewRunner(t)}
+}
+
+// Run executes one packet in the sandbox. The error is always nil: the
+// sandbox converts every abnormal termination into a classified Result.
+func (x *InProc) Run(packet []byte) (sandbox.Result, error) {
+	return x.r.Run(packet), nil
+}
+
+// Tracer exposes the sandbox runner's coverage tracer.
+func (x *InProc) Tracer() *coverage.Tracer { return x.r.Tracer() }
+
+// Close is a no-op: in-process targets have no resources beyond the
+// campaign's own memory.
+func (x *InProc) Close() error { return nil }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/datamodel"
 )
@@ -20,9 +21,12 @@ const DefaultMaxUplinks = 16
 
 // meshPeerFails is how many consecutive failed sync attempts a *learned*
 // peer survives before the node forgets its address. Static peers are
-// operator intent and are retried forever. Redials back off linearly (one
-// failed attempt skips the next `fails` windows), so a dead peer costs one
-// bounded dial every few windows, not one per window.
+// operator intent and are retried forever. Redials back off exponentially
+// with jitter (see backoff.Policy.Steps): a failed attempt sits out
+// roughly 2^(fails-1) windows, capped at meshPeerFails, plus a
+// seed-jittered extra — so a dead peer costs one bounded dial every few
+// windows, and nodes that watched the same peer die don't redial it in
+// lockstep when it returns.
 const meshPeerFails = 8
 
 // DefaultMeshDialTimeout bounds a mesh uplink's TCP connect when
@@ -95,6 +99,10 @@ type Mesh struct {
 
 	// uplinks is touched only by the driving goroutine.
 	uplinks map[string]*meshUplink
+	// bk draws the redial-backoff jitter; seeded from the node ID so each
+	// node jitters its own way (anti-thundering-herd) yet reproduces its
+	// schedule across runs. Touched only by the driving goroutine.
+	bk *backoff.Policy
 	// closedTx/closedRx retain the traffic of dropped uplinks so Traffic
 	// stays cumulative.
 	closedTx, closedRx int
@@ -106,6 +114,21 @@ type Mesh struct {
 	// published so PeerStats can be read from display goroutines without
 	// touching the driving goroutine's uplink map.
 	pubUplinks int64
+}
+
+// hashID folds a node ID into the 64-bit seed of the node's backoff
+// jitter stream (FNV-1a).
+func hashID(id string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime
+	}
+	return h
 }
 
 // meshUplink is one outbound link plus its retry accounting.
@@ -143,6 +166,7 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		known:     make(map[string]bool),
 		uplinks:   make(map[string]*meshUplink),
 		advertise: cfg.Advertise,
+		bk:        backoff.New(hashID(cfg.NodeID)),
 	}
 	for _, a := range cfg.Peers {
 		if a != "" {
@@ -301,8 +325,9 @@ func (m *Mesh) ensureUplinks() {
 // Sync runs one merge window with every peer: dial any known peer that
 // lacks a link, then exchange deltas over each uplink in address order.
 // Individual link failures are tolerated — the failing session resets and
-// redials with a linear backoff, a learned peer that stays dead is
-// eventually forgotten — and the first error is returned for logging;
+// redials with capped exponential backoff and jitter, a learned peer that
+// stays dead is eventually forgotten — and the first error is returned for
+// logging;
 // inbound sessions sync themselves through the accept loop. The node's
 // fleet must not be running (call between Run windows, like Leaf.Sync).
 func (m *Mesh) Sync() error { return m.SyncContext(context.Background()) }
@@ -353,10 +378,7 @@ func (m *Mesh) SyncContext(ctx context.Context) error {
 			return ctx.Err()
 		}
 		u.fails++
-		u.skip = u.fails
-		if u.skip > meshPeerFails {
-			u.skip = meshPeerFails
-		}
+		u.skip = m.bk.Steps(u.fails, meshPeerFails)
 		m.cfg.Logf("fleetnet mesh %s: sync with %s: %v", m.cfg.NodeID, addr, err)
 		if firstErr == nil {
 			firstErr = err

@@ -26,6 +26,24 @@ const (
 	DoubleFree         FaultKind = "double-free"
 )
 
+// Fault kinds reported by the real-process execution backend
+// (internal/executor), where the supervisor observes deaths from the
+// outside rather than through the simulated heap. Signal deaths in the
+// SEGV class (SIGSEGV, SIGBUS) keep the Table I SEGV kind so both backends
+// triage alike; these cover everything else a process can do.
+const (
+	// ProcExit is a target process exiting with a status mid-campaign
+	// (abort paths, assertion failures, clean-but-unexpected shutdowns);
+	// the site carries "exit:<code>".
+	ProcExit FaultKind = "proc-exit"
+	// ProcSignal is a target process killed by a signal outside the SEGV
+	// class; the site carries "signal:<name>".
+	ProcSignal FaultKind = "proc-signal"
+	// ConnReset is a connection death whose process never delivered an
+	// exit status — the supervisor saw the wire die but could not reap.
+	ConnReset FaultKind = "conn-reset"
+)
+
 // Fault describes one detected memory-safety violation: what happened, at
 // which simulated address, and at which named program site. Site is the
 // stable deduplication key used by crash triage, playing the role of the

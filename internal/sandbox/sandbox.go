@@ -46,10 +46,25 @@ func (o Outcome) String() string {
 // Result is the supervisor's view of one execution: what happened, the
 // fault details when it crashed, and the coverage snapshot hash used for
 // path-signature triage.
+//
+// Result is also the return type of the pluggable execution backends in
+// internal/executor; the fields below the fault are filled only by backends
+// that can supply them (the in-process sandbox reports HangSteps, the
+// process executor additionally journals Repro).
 type Result struct {
 	Outcome Outcome
 	Fault   *mem.Fault // non-nil iff Outcome == Crash
 	PathSig uint64     // coverage.Hash of the execution's map
+	// HangSteps is the budget the hanging execution exhausted: the step
+	// budget for an in-process target, the watchdog timeout in
+	// milliseconds for a supervised process. 0 unless Outcome == Hang.
+	HangSteps int
+	// Repro, when non-nil, is the exact packet sequence (oldest first,
+	// the current packet last) that drove the target from a fresh start
+	// to this crash or hang — the replayable reproducer captured by the
+	// process executor. Always nil for in-process executions, whose
+	// targets are reset around every packet.
+	Repro [][]byte
 }
 
 // Target is the minimal interface the sandbox needs: a packet handler that
@@ -104,6 +119,7 @@ func (r *Runner) Run(packet []byte) (res Result) {
 		case *hangError:
 			res.Outcome = Hang
 			res.Fault = nil
+			res.HangSteps = f.budget
 		default:
 			res.Fault = &mem.Fault{Kind: mem.SEGV, Site: fmt.Sprint(rec)}
 		}
@@ -144,25 +160,28 @@ func isInfra(fn string) bool {
 }
 
 // hangError is the panic payload used by Budget to abort an execution that
-// exceeded its step budget.
-type hangError struct{}
+// exceeded its step budget. It carries the exhausted budget so the hang
+// record can report how much work the execution was allowed before the
+// supervisor gave up on it.
+type hangError struct{ budget int }
 
 func (*hangError) Error() string { return "sandbox: step budget exhausted" }
 
 // Budget is a step counter a target threads through its parsing loops to
 // make hangs detectable. Tick panics once the budget is exhausted; the
-// sandbox classifies that panic as a Hang.
+// sandbox classifies that panic as a Hang carrying the exhausted budget.
 type Budget struct {
 	left int
+	size int
 }
 
 // NewBudget returns a budget of n steps.
-func NewBudget(n int) *Budget { return &Budget{left: n} }
+func NewBudget(n int) *Budget { return &Budget{left: n, size: n} }
 
 // Tick consumes one step, aborting the execution when none remain.
 func (b *Budget) Tick() {
 	b.left--
 	if b.left < 0 {
-		panic(&hangError{})
+		panic(&hangError{budget: b.size})
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crash"
+	"repro/internal/executor"
 )
 
 // DefaultSyncEvery is the default number of local executions between
@@ -91,6 +92,17 @@ type RunConfig struct {
 	// the campaign; false leaves the campaign's current mode unchanged
 	// (it never switches the scheduler back off).
 	Adaptive bool
+	// Exec selects the session's execution backend: nil (the default)
+	// fuzzes the campaign's in-process target exactly as always, while
+	// WithProcTarget spawns and supervises a real server process for the
+	// lifetime of the session — the campaign's coverage, corpus and crash
+	// state carry across backend boundaries, so an in-process warmup
+	// session can precede a real-target one. Process-backed sessions
+	// require a single-worker campaign; the backend is closed (the target
+	// killed) when the session ends. If the backend fails unrecoverably
+	// mid-session (spawn retries exhausted), the session ends early and
+	// Wait returns the failure.
+	Exec ExecBackend
 }
 
 // Attachment composes a fleet transport into a session: something a run
@@ -269,6 +281,12 @@ type Run struct {
 	atts    []runAttachment
 	syncers []runAttachment
 
+	// exec is the session-owned execution backend swapped into the fleet
+	// for this session (nil for default in-process sessions); prevExec is
+	// what it displaced, restored when the session ends.
+	exec     executor.Executor
+	prevExec executor.Executor
+
 	// statsNext is the next fleet-exec threshold that emits a StatsEvent
 	// (atomic: window hooks race on it across workers).
 	statsNext int64
@@ -350,6 +368,25 @@ func (c *Campaign) Start(ctx context.Context, cfg RunConfig) (*Run, error) {
 			r.syncers = append(r.syncers, att)
 		}
 	}
+	if cfg.Exec != nil {
+		fail := func(err error) (*Run, error) {
+			for _, prev := range r.atts {
+				prev.close()
+			}
+			atomic.StoreInt32(&c.running, 0)
+			return nil, err
+		}
+		ex, err := cfg.Exec.build(c)
+		if err != nil {
+			return fail(err)
+		}
+		prev, err := c.fleet.SwapExecutor(ex)
+		if err != nil {
+			ex.Close()
+			return fail(err)
+		}
+		r.exec, r.prevExec = ex, prev
+	}
 	go r.loop()
 	return r, nil
 }
@@ -401,6 +438,13 @@ func (r *Run) Snapshot() Stats { return r.c.fleet.StatsApprox() }
 // loop is the session driver, on its own goroutine.
 func (r *Run) loop() {
 	defer func() {
+		if r.exec != nil {
+			// Restore the displaced backend (clearing any sticky backend
+			// error with it) and tear the session's own down — for a
+			// process backend that kills the supervised target.
+			r.c.fleet.SwapExecutor(r.prevExec)
+			r.exec.Close()
+		}
 		for _, a := range r.atts {
 			a.close()
 		}
@@ -430,6 +474,13 @@ func (r *Run) loop() {
 	r.c.fleet.PublishStats()
 	r.emit(StatsEvent{Stats: r.c.fleet.StatsApprox(), Elapsed: time.Since(r.start)})
 	close(r.events)
+	// An unrecoverable execution-backend failure trumps everything: the
+	// session ended because fuzzing became impossible, and Wait must say
+	// so. Read before the deferred executor restore clears it.
+	if eerr := r.c.fleet.ExecError(); eerr != nil {
+		r.err = eerr
+		return
+	}
 	// The context's error is the session result only when the
 	// cancellation is what ended the session: a cancel that lands after
 	// the budget is already spent does not turn a completed run into a
