@@ -24,13 +24,15 @@ test:
 # free: every TestParallel* test (core fleet, public API, crash bank
 # concurrency), the deadline-aware loop, the TestStart* session suite
 # (cancellation mid-window, Stop during a mesh sync exchange,
-# double-Stop/Wait idempotence, concurrent Snapshot), and the adaptive
+# double-Stop/Wait idempotence, concurrent Snapshot), the adaptive
 # scheduler's determinism/session suite (TestAdaptive*/TestSched*,
-# fleet-published stats atomics) under -race. The fleetnet loopback suite
-# (hub + concurrent leaves) runs under -race in docs-check, which ci and
-# check both include.
+# fleet-published stats atomics), and the stateful-session fuzzing suite
+# (TestSession* — sequence determinism, fleet-merged state counters,
+# process-backed session boundaries — plus the TestDeepState conformance
+# experiment) under -race. The fleetnet loopback suite (hub + concurrent
+# leaves) runs under -race in docs-check, which ci and check both include.
 race:
-	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil|TestStart|TestAdaptive|TestSched' ./internal/core ./internal/crash ./peachstar
+	$(GO) test -race -run 'TestParallel|TestConcurrent|TestRunUntil|TestStart|TestAdaptive|TestSched|TestSession|TestDeepState' ./internal/core ./internal/crash ./internal/executor ./peachstar .
 
 # Chaos soak over the real-target execution backend: a timed campaign
 # against the bundled toy Modbus server while a chaos goroutine SIGKILLs
@@ -53,7 +55,7 @@ docs-check:
 	for dir in internal/backoff internal/core internal/corpus internal/coverage \
 	           internal/crash internal/datamodel internal/executor internal/fleetnet \
 	           internal/mem internal/mutator internal/pit internal/rng \
-	           internal/sandbox internal/bench internal/targets peachstar; do \
+	           internal/sandbox internal/session internal/bench internal/targets peachstar; do \
 	  pkg=$$(basename $$dir); \
 	  if ! grep -l "^// Package $$pkg " $$dir/*.go >/dev/null 2>&1; then \
 	    echo "docs-check: package $$dir has no '// Package $$pkg' doc comment"; fail=1; \
@@ -62,6 +64,8 @@ docs-check:
 	test -f ARCHITECTURE.md || { echo "docs-check: ARCHITECTURE.md missing"; fail=1; }; \
 	grep -q "Scheduler & distillation" ARCHITECTURE.md 2>/dev/null \
 	  || { echo "docs-check: ARCHITECTURE.md lost the 'Scheduler & distillation' section"; fail=1; }; \
+	grep -q "Session fuzzing" ARCHITECTURE.md 2>/dev/null \
+	  || { echo "docs-check: ARCHITECTURE.md lost the 'Session fuzzing' section"; fail=1; }; \
 	exit $$fail
 	$(GO) test -race ./internal/fleetnet
 
@@ -85,6 +89,7 @@ fuzz:
 	$(GO) test ./internal/datamodel -fuzz 'FuzzCrack$$' -fuzztime 10s -run XXX
 	$(GO) test ./internal/datamodel -fuzz 'FuzzGenerate$$' -fuzztime 10s -run XXX
 	$(GO) test ./internal/datamodel -fuzz 'FuzzCrackSeedCorpusBytes$$' -fuzztime 10s -run XXX
+	$(GO) test ./internal/session -fuzz 'FuzzSequenceCodec$$' -fuzztime 10s -run XXX
 
 # Serial-vs-sharded throughput on libmodbus (the BENCH_parallel.json rows).
 bench-parallel:

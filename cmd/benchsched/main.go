@@ -71,6 +71,42 @@ func measure(name string, execs int, seed uint64, adaptive bool) (row, error) {
 	}, nil
 }
 
+// measureSession runs the stateful-session configuration (sequence
+// generation through the target's state model, non-adaptive) at the same
+// budget and seed, for the sequence-vs-single-packet comparison row.
+func measureSession(name string, execs int, seed uint64) (row, error) {
+	tgt, err := targets.New(name)
+	if err != nil {
+		return row{}, err
+	}
+	st, ok := tgt.(targets.SessionTarget)
+	if !ok {
+		return row{}, fmt.Errorf("benchsched: target %q publishes no session state model", name)
+	}
+	eng, err := core.New(core.Config{
+		Models:   tgt.Models(),
+		Target:   tgt,
+		Strategy: core.StrategyPeachStar,
+		Seed:     seed,
+		Session:  st.StateModel(),
+	})
+	if err != nil {
+		return row{}, err
+	}
+	start := time.Now()
+	eng.Run(execs)
+	elapsed := time.Since(start)
+	s := eng.Stats()
+	return row{
+		Edges:        s.Edges,
+		Paths:        s.Paths,
+		Corpus:       s.CorpusPuzzles,
+		Distills:     s.Distills,
+		EdgesPerMExe: float64(s.Edges) / float64(s.Execs) * 1e6,
+		NsPerExec:    float64(elapsed.Nanoseconds()) / float64(s.Execs),
+	}, nil
+}
+
 func main() {
 	execs := flag.Int("execs", 100000, "execution budget per configuration")
 	seed := flag.Uint64("seed", 1, "campaign seed")
@@ -106,6 +142,24 @@ func main() {
 		}
 	}
 
+	// Sequence vs single-packet on the session-capable IEC104 target: same
+	// budget and seed, session walks against independent packets. Reuses
+	// the single-packet row when IEC104 is already in the target list.
+	seqRow, err := measureSession("IEC104", *execs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	singleRow, measured := results["IEC104"]
+	if !measured {
+		st, err := measure("IEC104", *execs, *seed, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		singleRow = pair{Static: st}
+	}
+
 	out := map[string]any{
 		"bench":   "static vs adaptive scheduler, serial Peach* engines, equal budget and seed",
 		"go":      runtime.Version(),
@@ -114,6 +168,11 @@ func main() {
 		"seed":    *seed,
 		"results": results,
 		"adaptive_edges_ge_static_on": fmt.Sprintf("%d of %d targets", adaptiveWins, len(names)),
+		"sessions": map[string]any{
+			"target":        "IEC104",
+			"single_packet": singleRow.Static,
+			"sequence":      seqRow,
+		},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -58,6 +58,7 @@ func main() {
 		syncEvery  = flag.Int("sync-every", 1024, "executions between fleet syncs (with -connect or -mesh)")
 		seedStream = flag.Int("seed-stream", 0, "RNG stream offset for this node's workers; give each leaf a disjoint range")
 		adaptive   = flag.Bool("adaptive", false, "enable the adaptive scheduler (learned mutator weights, rarity-weighted seeds, corpus distillation)")
+		sessions   = flag.Bool("sessions", false, "fuzz stateful message sequences through the target's session state machine instead of independent packets (target must publish a state model)")
 		execCmd    = flag.String("exec-cmd", "", "spawn this command as the real fuzz target and drive it over the network ({addr} expands to -exec-addr); packets go to the process instead of the in-process sandbox")
 		execAddr   = flag.String("exec-addr", "", "host:port the spawned target serves on (required with -exec-cmd)")
 		execNet    = flag.String("exec-net", "tcp", "transport to the spawned target: tcp | udp (with -exec-cmd)")
@@ -125,6 +126,7 @@ func main() {
 		Workers:    *workers,
 		SeedStream: *seedStream,
 		Adaptive:   *adaptive,
+		Sessions:   *sessions,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -317,6 +319,13 @@ func main() {
 	if backend != nil {
 		fmt.Printf("target restarted %d times during the campaign\n", s.TargetRestarts)
 	}
+	if len(s.StateCoverage) > 0 {
+		fmt.Printf("sessions: %d sequences sent, %d of %d states reached\n",
+			s.Sequences, s.StatesReached, len(s.StateCoverage))
+		for _, sc := range s.StateCoverage {
+			fmt.Printf("  state %-16s %9d sent  %5d edges\n", sc.State, sc.Sent, sc.Edges)
+		}
+	}
 	if len(s.MutatorStats) > 0 {
 		fmt.Printf("scheduler: %d distillations; operator yields:\n", s.Distills)
 		for _, ms := range s.MutatorStats {
@@ -343,6 +352,9 @@ func printEvents(r *peachstar.Run, leaf *peachstar.SyncLeaf, mnode *peachstar.Me
 		case peachstar.CrashEvent:
 			fmt.Printf("%8.1fs  NEW CRASH: %s at %s (worker %d)\n  packet: %x\n",
 				time.Since(start).Seconds(), ev.Record.Kind, ev.Record.Site, ev.Worker, ev.Record.Example)
+		case peachstar.StateEvent:
+			fmt.Printf("%8.1fs  reached state %q (worker %d, exec %d)\n",
+				time.Since(start).Seconds(), ev.State, ev.Worker, ev.Exec)
 		case peachstar.DistillEvent:
 			fmt.Printf("%8.1fs  distilled corpus (worker %d): kept %d of %d seeds covering %d edges, dropped %d puzzles\n",
 				time.Since(start).Seconds(), ev.Worker, ev.SeedsKept, ev.SeedsKept+ev.SeedsDropped, ev.Edges, ev.PuzzlesDropped)

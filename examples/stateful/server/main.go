@@ -1,0 +1,114 @@
+// Command server is the toy stateful IEC-104-style TCP target for the
+// stateful-fuzzing example and the executor session tests. Its interesting
+// behavior is deliberately gated behind per-connection session state, the
+// way real ICS servers gate theirs:
+//
+//   - STARTDT activation: I-frames are ignored until the connection has
+//     seen a STARTDT-act U-frame (0x68 04 07 00 00 00).
+//   - Receive sequence numbers: an I-frame is accepted only when its N(S)
+//     matches the connection's receive counter — replayed or reordered
+//     frames are acknowledged but not processed.
+//   - A planted fault: a single-command ASDU (type 0x2d) accepted after
+//     two already-accepted I-frames exits the process — reachable only
+//     through a correct 3-message prefix on one session, never by a
+//     single packet.
+//   - A one-shot connection drop: the first I-frame carrying ASDU type
+//     0xfe makes the server close the connection without dying (the
+//     fault-injection hook); later ones are acknowledged normally.
+//
+// Malformed frames (bad start byte, bad length) shed the connection, like
+// the toy Modbus server. All session state is per connection: a
+// reconnecting client starts from scratch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+// dropArmed arms the one-shot connection-drop fault; per process, so a
+// replay against a fresh instance sees the same drop at the same step.
+var dropArmed = true
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:2404", "address to serve on")
+	flag.Parse()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		handle(conn)
+	}
+}
+
+// uFrame builds a U-format APCI with the given control byte.
+func uFrame(ctrl byte) []byte { return []byte{0x68, 0x04, ctrl, 0x00, 0x00, 0x00} }
+
+// sFrame builds an S-format ack carrying the receive counter.
+func sFrame(vr byte) []byte { return []byte{0x68, 0x04, 0x01, 0x00, vr << 1, 0x00} }
+
+// handle serves one connection; session state lives and dies with it.
+func handle(c net.Conn) {
+	defer c.Close()
+	started := false
+	vr := byte(0)   // expected N(S) of the next accepted I-frame
+	accepted := 0   // I-frames accepted on this connection
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.Read(buf)
+		if err != nil {
+			return
+		}
+		pkt := buf[:n]
+		if len(pkt) < 6 || pkt[0] != 0x68 || int(pkt[1]) != len(pkt)-2 {
+			return // malformed: shed the connection
+		}
+		ctrl1 := pkt[2]
+		switch {
+		case ctrl1&0x03 == 0x03: // U-format
+			switch ctrl1 {
+			case 0x07: // STARTDT act
+				started, vr, accepted = true, 0, 0
+				c.Write(uFrame(0x0b))
+			case 0x13: // STOPDT act
+				started = false
+				c.Write(uFrame(0x23))
+			case 0x43: // TESTFR act
+				c.Write(uFrame(0x83))
+			default:
+				c.Write(sFrame(vr))
+			}
+		case ctrl1&0x01 == 0x01: // S-format
+			c.Write(sFrame(vr))
+		default: // I-format
+			if len(pkt) >= 9 && pkt[6] == 0xfe {
+				if dropArmed {
+					dropArmed = false
+					return // one-shot injected connection drop
+				}
+				c.Write(sFrame(vr))
+				continue
+			}
+			ns := ctrl1 >> 1 // 7 bits are plenty for the toy
+			if !started || ns != vr || len(pkt) < 12 {
+				c.Write(sFrame(vr)) // acknowledged, not processed
+				continue
+			}
+			if pkt[6] == 0x2d && accepted >= 2 {
+				os.Exit(3) // planted deep-state fault
+			}
+			vr++
+			accepted++
+			c.Write(sFrame(vr))
+		}
+	}
+}

@@ -23,6 +23,8 @@ func TestExamplesSmoke(t *testing.T) {
 		"./examples/mesh",
 		"./examples/realtarget",
 		"./examples/realtarget/server",
+		"./examples/stateful",
+		"./examples/stateful/server",
 	} {
 		out, err := exec.Command("go", "build", "-o", "/dev/null", dir).CombinedOutput()
 		if err != nil {
@@ -54,5 +56,15 @@ func TestExamplesSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "realtarget: done (2/2 reproducers verified)") {
 		t.Fatalf("realtarget example did not verify its reproducers:\n%s", out)
+	}
+
+	// The stateful example walks the IEC104 session state machine; its
+	// final line asserts the campaign reached every protocol state.
+	out, err = exec.Command("go", "run", "./examples/stateful", "-execs", "8000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stateful example failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "stateful: done (2/2 states reached)") {
+		t.Fatalf("stateful example did not reach every state:\n%s", out)
 	}
 }

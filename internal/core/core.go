@@ -20,6 +20,7 @@ import (
 	"repro/internal/mutator"
 	"repro/internal/rng"
 	"repro/internal/sandbox"
+	"repro/internal/session"
 )
 
 // Strategy selects the generation strategy.
@@ -71,6 +72,14 @@ type Config struct {
 	Strategy Strategy
 	// Seed drives all randomness; equal seeds give equal campaigns.
 	Seed uint64
+
+	// Session, when non-nil, switches the engine into stateful-session
+	// fuzzing (see session.go): every iteration walks the state machine
+	// and drives a message sequence down one target session instead of
+	// sending one packet. Every Action.Model must name a model in Models.
+	// When nil — the default — no session code runs and the engine is
+	// bit-for-bit identical to the single-packet build.
+	Session *session.StateModel
 
 	// MaxBatch caps the number of seeds Algorithm 3 materializes per
 	// iteration from the donor cartesian product (the paper enumerates
@@ -136,6 +145,18 @@ type Stats struct {
 	// MutatorStats is the adaptive scheduler's per-operator accounting,
 	// in mutator-suite order; nil unless the adaptive scheduler is on.
 	MutatorStats []MutatorStat
+	// Sequences is the number of message sequences driven; 0 unless
+	// session fuzzing is on (Config.Session).
+	Sequences int
+	// StatesReached is how many state-machine states the campaign has
+	// sent a message from; 0 unless session fuzzing is on.
+	StatesReached int
+	// StateCoverage is the per-state session accounting, in StateModel
+	// order; nil unless session fuzzing is on.
+	StateCoverage []StateCoverage
+	// SeqOpStats is the sequence-operator accounting (trials and valuable
+	// hits per operator); nil unless session fuzzing is on.
+	SeqOpStats []MutatorStat
 }
 
 // Engine is one fuzzing campaign.
@@ -185,6 +206,8 @@ type Engine struct {
 	mut mutationState
 	// sched is the adaptive scheduler state (zero value = disabled).
 	sched scheduler
+	// sess is the stateful-session fuzzing state (nil = single-packet).
+	sess *sessionCore
 }
 
 // New validates the configuration and builds an engine.
@@ -221,6 +244,13 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Adaptive {
 		e.enableAdaptive()
 	}
+	if cfg.Session != nil {
+		sc, err := newSessionCore(cfg.Session, cfg.Models)
+		if err != nil {
+			return nil, err
+		}
+		e.sess = sc
+	}
 	return e, nil
 }
 
@@ -234,6 +264,11 @@ func (e *Engine) Stats() Stats {
 	if e.sched.on {
 		s.Distills = e.sched.distills
 		s.MutatorStats = e.mutatorStats()
+	}
+	if e.sess != nil {
+		s.StatesReached = e.sess.reachedN
+		s.StateCoverage = e.sess.stateCoverage()
+		s.SeqOpStats = e.sess.seqOpStats()
 	}
 	s.TargetRestarts = e.execRestarts()
 	return s
@@ -284,6 +319,9 @@ func (e *Engine) Corpus() *corpus.Corpus { return e.corp }
 // generate seed(s) under the configured strategy, execute them, process
 // feedback. It returns the number of executions performed.
 func (e *Engine) Step() int {
+	if e.sess != nil {
+		return e.stepSession()
+	}
 	e.stats.Iterations++
 	if len(e.pending) == 0 {
 		e.generate()
@@ -406,7 +444,7 @@ func (e *Engine) execute(seed []byte) {
 	}
 	switch res.Outcome {
 	case sandbox.Crash:
-		e.crashes.ReportSequence(res.Fault, seed, res.Repro, e.stats.Execs, res.PathSig)
+		e.crashes.ReportSequenceSteps(res.Fault, seed, res.Repro, res.ReproStarts, e.stats.Execs, res.PathSig)
 	case sandbox.Hang:
 		e.crashes.ReportHangDetail(res.HangSteps, seed)
 	}

@@ -61,6 +61,10 @@ type WindowInfo struct {
 	// window, in execution order; nil unless the adaptive scheduler is on
 	// and a distillation cadence boundary fell inside the window.
 	Distills []DistillInfo
+	// NewStates are the state-machine states this worker sent its first
+	// message from in this window, in reach order; nil unless session
+	// fuzzing is on (Config.Session).
+	NewStates []StateInfo
 }
 
 // WindowHook observes one completed merge window. It is called on worker
@@ -262,6 +266,10 @@ func (f *Fleet) publishCounters(i int) {
 	atomic.StoreInt64(&p.semExecsPub, int64(w.stats.SemanticExecs))
 	atomic.StoreInt64(&p.semPathsPub, int64(w.stats.SemanticPaths))
 	atomic.StoreInt64(&p.restartsPub, int64(w.execRestarts()))
+	if w.sess != nil {
+		atomic.StoreInt64(&p.seqsPub, int64(w.stats.Sequences))
+		atomic.StoreInt64(&p.statesPub, int64(w.sess.reachedN))
+	}
 	if w.sched.on {
 		for mi := range p.mutTrialsPub {
 			var t, h uint64
@@ -301,6 +309,7 @@ func (f *Fleet) publishWindow(i int, edges, corpusLen int, hook WindowHook) {
 		NewEdges:    delta,
 		NewCrashes:  newRecs,
 		Distills:    w.takeDistills(),
+		NewStates:   w.takeNewStates(),
 	})
 }
 
@@ -355,6 +364,11 @@ func (f *Fleet) PublishStats() {
 //     exact whenever the fleet is idle (after PublishStats).
 //   - Edges, CorpusPuzzles: the published union figures, same
 //     one-window lag.
+//   - Sequences, StatesReached: published session counters, same lag;
+//     StatesReached is the max over workers (an approximation of the
+//     union — exact for the common single-worker session campaign). The
+//     full per-state breakdown (StateCoverage, SeqOpStats) is only in
+//     the exact Stats.
 //   - UniqueCrashes, Hangs: exact at all times — crash banks are
 //     internally locked, so Crashes() is safe concurrently.
 //
@@ -369,6 +383,10 @@ func (f *Fleet) StatsApprox() Stats {
 		s.SemanticExecs += int(atomic.LoadInt64(&p.semExecsPub))
 		s.SemanticPaths += int(atomic.LoadInt64(&p.semPathsPub))
 		s.TargetRestarts += int(atomic.LoadInt64(&p.restartsPub))
+		s.Sequences += int(atomic.LoadInt64(&p.seqsPub))
+		if n := int(atomic.LoadInt64(&p.statesPub)); n > s.StatesReached {
+			s.StatesReached = n
+		}
 	}
 	s.Edges = int(atomic.LoadInt64(&f.pubEdges))
 	s.CorpusPuzzles = int(atomic.LoadInt64(&f.pubCorpus))

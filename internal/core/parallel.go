@@ -117,6 +117,10 @@ type workerPeer struct {
 	mutTrialsPub []int64
 	mutHitsPub   []int64
 	distillsPub  int64
+	// seqsPub/statesPub publish the worker's session-fuzzing counters
+	// (sequences driven, states reached); zero when sessions are off.
+	seqsPub   int64
+	statesPub int64
 }
 
 // Exchange is the local half of the merge protocol (invoked under the
@@ -350,7 +354,38 @@ func (f *Fleet) Stats() Stats {
 		s.Paths += ws.Paths
 		s.SemanticExecs += ws.SemanticExecs
 		s.SemanticPaths += ws.SemanticPaths
+		s.Sequences += ws.Sequences
 		s.TargetRestarts += w.execRestarts()
+	}
+	for _, w := range f.workers {
+		if w.sess == nil {
+			continue
+		}
+		// Element-wise merge over the shared StateModel order; states
+		// reached is the union (a state any worker exercised is reached).
+		sc := w.sess.stateCoverage()
+		if s.StateCoverage == nil {
+			s.StateCoverage = sc
+		} else {
+			for j := range sc {
+				s.StateCoverage[j].Sent += sc[j].Sent
+				s.StateCoverage[j].Edges += sc[j].Edges
+			}
+		}
+		so := w.sess.seqOpStats()
+		if s.SeqOpStats == nil {
+			s.SeqOpStats = so
+		} else {
+			for j := range so {
+				s.SeqOpStats[j].Trials += so[j].Trials
+				s.SeqOpStats[j].Hits += so[j].Hits
+			}
+		}
+	}
+	for j := range s.StateCoverage {
+		if s.StateCoverage[j].Sent > 0 {
+			s.StatesReached++
+		}
 	}
 	if f.Adaptive() {
 		for _, w := range f.workers {

@@ -36,6 +36,13 @@ type Record struct {
 	// Nil for in-process faults, which single-packet Example reproduces,
 	// and for records received over the fleet sync wire.
 	Sequence [][]byte
+	// SeqStarts, when Sequence is non-nil, holds the indices into Sequence
+	// where a protocol session began (ascending; a plain single-session
+	// journal has none or just {0}). Replaying a stateful reproducer must
+	// re-run the session setup at each boundary — fresh connection, fresh
+	// server-side sequence numbers — rather than pushing every packet down
+	// one connection; see executor.ReplaySession.
+	SeqStarts []int
 }
 
 // HangRecord is one class of hanging execution, keyed by the offending
@@ -108,6 +115,14 @@ func (b *Bank) Report(f *mem.Fault, packet []byte, execIndex int, pathSig uint64
 // sequence travels with the record that owns the example packet: the first
 // observation of the fault keeps its journal, later duplicates only count.
 func (b *Bank) ReportSequence(f *mem.Fault, packet []byte, seq [][]byte, execIndex int, pathSig uint64) bool {
+	return b.ReportSequenceSteps(f, packet, seq, nil, execIndex, pathSig)
+}
+
+// ReportSequenceSteps is ReportSequence carrying session boundaries:
+// starts lists the indices into seq where a protocol session began, so
+// the stored reproducer replays with the same session structure the
+// fuzzer drove (Record.SeqStarts).
+func (b *Bank) ReportSequenceSteps(f *mem.Fault, packet []byte, seq [][]byte, starts []int, execIndex int, pathSig uint64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	k := Key(f)
@@ -125,6 +140,9 @@ func (b *Bank) ReportSequence(f *mem.Fault, packet []byte, seq [][]byte, execInd
 		FirstExec: execIndex,
 		PathSig:   pathSig,
 		Sequence:  copySequence(seq),
+	}
+	if seq != nil && len(starts) > 0 {
+		b.byKey[k].SeqStarts = append([]int(nil), starts...)
 	}
 	return true
 }

@@ -46,6 +46,29 @@ type Executor interface {
 	Close() error
 }
 
+// SessionExecutor is the optional interface of executors that can mark
+// protocol-session boundaries. The session-aware engine calls
+// BeginSession before each message sequence; the executor resets
+// whatever carries per-session target state — the in-process backend
+// asks the target to clear its session fields, the process backend drops
+// and re-establishes its connection — and records the boundary in its
+// reproducer journal (sandbox.Result.ReproStarts). Executors that do not
+// implement it are driven sequence-blind, which is still correct: the
+// sequence just runs into whatever state the target was left in.
+type SessionExecutor interface {
+	// BeginSession marks the start of a new protocol session. The error
+	// return is reserved for unrecoverable backend failures, like Run's.
+	BeginSession() error
+}
+
+// SessionResetter is the optional interface of in-process targets that
+// hold per-session state: ResetSession clears exactly the state a real
+// server would lose when a client reconnects (activation flags, sequence
+// numbers) — not long-lived server data.
+type SessionResetter interface {
+	ResetSession()
+}
+
 // InProc is the in-process execution backend: the sandbox runner behind
 // the Executor interface. It adds nothing and changes nothing — a campaign
 // on an InProc executor is bit-for-bit identical to one built before the
@@ -71,3 +94,13 @@ func (x *InProc) Tracer() *coverage.Tracer { return x.r.Tracer() }
 // Close is a no-op: in-process targets have no resources beyond the
 // campaign's own memory.
 func (x *InProc) Close() error { return nil }
+
+// BeginSession asks the target to reset its per-session state, when it
+// knows how (SessionResetter); targets without session state need
+// nothing reset. Never fails.
+func (x *InProc) BeginSession() error {
+	if t, ok := x.r.Target().(SessionResetter); ok {
+		t.ResetSession()
+	}
+	return nil
+}

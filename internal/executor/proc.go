@@ -104,6 +104,16 @@ type Proc struct {
 	journal   [][]byte
 	buf       []byte
 
+	// Session-boundary tracking (BeginSession). starts holds the journal
+	// indices where a session began; sessStart is the current session's
+	// start; sessions latches once BeginSession has ever been called, and
+	// gates the session-only behaviors (boundary-aligned preventive
+	// restarts, prefix re-establishment after a survived drop) so
+	// sequence-blind campaigns keep their exact prior semantics.
+	starts    []int
+	sessStart int
+	sessions  bool
+
 	restarts int // process (re)spawns after the first
 	drops    int // connection drops survived without a restart
 	spawned  bool
@@ -199,9 +209,11 @@ func (p *Proc) Run(packet []byte) (sandbox.Result, error) {
 	if p.broken != nil {
 		return sandbox.Result{}, p.broken
 	}
-	if len(p.journal) >= p.cfg.MaxJournal {
+	if !p.sessions && len(p.journal) >= p.cfg.MaxJournal {
 		// Preventive restart: re-anchor the journal at a fresh process so
-		// reproducers stay bounded and replay from a clean start.
+		// reproducers stay bounded and replay from a clean start. With
+		// sessions this happens in BeginSession instead, so a restart can
+		// never sever an in-flight handshake prefix.
 		p.stopTarget()
 	}
 	if err := p.ensureTarget(); err != nil {
@@ -212,6 +224,35 @@ func (p *Proc) Run(packet []byte) (sandbox.Result, error) {
 	res := p.exchange(packet)
 	res.PathSig = p.tracer.PathHash()
 	return res, nil
+}
+
+// BeginSession marks a protocol-session boundary: the connection is
+// dropped so the server's per-connection session state (activation
+// flags, sequence numbers) resets, and the boundary is recorded in the
+// reproducer journal. The next Run reconnects to the still-live process
+// — boundaries do not cost a respawn. Preventive journal-cap restarts
+// happen here, at the boundary, where they cannot sever a handshake
+// prefix mid-sequence.
+func (p *Proc) BeginSession() error {
+	if p.closed {
+		return fmt.Errorf("executor: BeginSession after Close")
+	}
+	if p.broken != nil {
+		return p.broken
+	}
+	p.sessions = true
+	if len(p.journal) >= p.cfg.MaxJournal {
+		p.stopTarget()
+	}
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.sessStart = len(p.journal)
+	if n := len(p.starts); n == 0 || p.starts[n-1] != p.sessStart {
+		p.starts = append(p.starts, p.sessStart)
+	}
+	return nil
 }
 
 // Close kills the target's process group and releases the connection.
@@ -225,10 +266,21 @@ func (p *Proc) Close() error {
 }
 
 // ensureTarget makes sure a live, connected target exists, spawning (and
-// respawning, up to the retry budget) as needed.
+// respawning, up to the retry budget) as needed. When the process is
+// still alive and only the connection is down — the normal state after a
+// BeginSession boundary — it reconnects instead of respawning, since a
+// second spawn would race the live process for the listen address.
 func (p *Proc) ensureTarget() error {
 	if p.conn != nil {
 		return nil
+	}
+	if p.cmd != nil {
+		if _, dead := p.exited(); !dead {
+			if err := p.connectProbeShort(); err == nil {
+				return nil
+			}
+		}
+		p.stopTarget()
 	}
 	var lastErr error
 	for attempt := 0; attempt < p.cfg.SpawnRetries; attempt++ {
@@ -273,6 +325,13 @@ func (p *Proc) startProcess() error {
 	p.cmd = cmd
 	p.procState = nil
 	p.journal = p.journal[:0]
+	// The journal re-anchors at the fresh process; if a session is in
+	// flight its boundary re-anchors with it.
+	p.starts = p.starts[:0]
+	p.sessStart = 0
+	if p.sessions {
+		p.starts = append(p.starts, 0)
+	}
 	waitCh := make(chan *os.ProcessState, 1)
 	go func() {
 		cmd.Wait()
@@ -386,6 +445,11 @@ func (p *Proc) connFailure(cause error, packet []byte) sandbox.Result {
 		p.drops++
 		p.cfg.Logf("executor: survived connection drop (%v); reconnected", cause)
 		p.tracer.Hit(p.blocks[blkDrop])
+		if p.sessions {
+			// The fresh connection lost the server's per-connection
+			// session state; walk it back to where the sequence was.
+			p.reestablish()
+		}
 		return sandbox.Result{Outcome: sandbox.OK}
 	}
 	// Unreachable: a reset usually races the supervisor's view of the
@@ -414,16 +478,46 @@ func (p *Proc) connectProbeShort() error {
 	return fmt.Errorf("executor: target alive but unreachable")
 }
 
+// reestablish replays the current session's already-journaled packets
+// (everything since the last BeginSession boundary, except the in-flight
+// packet whose drop was just survived) down the freshly reconnected
+// connection, driving a server that keeps session state per connection —
+// activation flags, sequence numbers — back to the state the sequence
+// believes it is in. Responses are drained but not observed: the
+// execution's coverage stays the drop marker, not a replayed echo.
+// Best-effort: a failure just leaves the session shallower than
+// intended, which the engine's coverage feedback absorbs.
+func (p *Proc) reestablish() {
+	end := len(p.journal) - 1
+	if end <= p.sessStart {
+		return
+	}
+	prefix := p.journal[p.sessStart:end]
+	deadline := time.Now().Add(p.cfg.ExecTimeout)
+	for _, pkt := range prefix {
+		p.conn.SetWriteDeadline(deadline)
+		if _, err := p.conn.Write(pkt); err != nil {
+			return
+		}
+		p.conn.SetReadDeadline(deadline)
+		if _, err := p.conn.Read(p.buf); err != nil {
+			return
+		}
+	}
+	p.cfg.Logf("executor: re-established %d-packet session prefix after drop", len(prefix))
+}
+
 // crashResult classifies a dead target from its exit status and packages
 // the reproducer. The next Run respawns.
 func (p *Proc) crashResult(st *os.ProcessState) sandbox.Result {
-	repro := p.takeJournal()
+	repro, starts := p.takeJournal()
 	p.stopTarget()
 	p.cfg.Logf("executor: target crashed (%s); %d-packet reproducer captured", exitDesc(st), len(repro))
 	return sandbox.Result{
-		Outcome: sandbox.Crash,
-		Fault:   classifyExit(st),
-		Repro:   repro,
+		Outcome:     sandbox.Crash,
+		Fault:       classifyExit(st),
+		Repro:       repro,
+		ReproStarts: starts,
 	}
 }
 
@@ -432,22 +526,24 @@ func (p *Proc) crashResult(st *os.ProcessState) sandbox.Result {
 // budget (in milliseconds) and the reproducer journal. The next Run
 // respawns.
 func (p *Proc) hangResult() sandbox.Result {
-	repro := p.takeJournal()
+	repro, starts := p.takeJournal()
 	p.stopTarget()
 	p.cfg.Logf("executor: watchdog fired after %v; process group killed", p.cfg.ExecTimeout)
 	return sandbox.Result{
-		Outcome:   sandbox.Hang,
-		HangSteps: int(p.cfg.ExecTimeout / time.Millisecond),
-		Repro:     repro,
+		Outcome:     sandbox.Hang,
+		HangSteps:   int(p.cfg.ExecTimeout / time.Millisecond),
+		Repro:       repro,
+		ReproStarts: starts,
 	}
 }
 
-// takeJournal detaches the reproducer journal (ownership moves to the
-// result; the next spawn starts a fresh one).
-func (p *Proc) takeJournal() [][]byte {
-	j := p.journal
-	p.journal = nil
-	return j
+// takeJournal detaches the reproducer journal and its session boundaries
+// (ownership moves to the result; the next spawn starts fresh ones).
+func (p *Proc) takeJournal() ([][]byte, []int) {
+	j, s := p.journal, p.starts
+	p.journal, p.starts = nil, nil
+	p.sessStart = 0
+	return j, s
 }
 
 // observe feeds one response into the coverage tracer: a length bucket
@@ -539,6 +635,8 @@ func (p *Proc) stopTarget() {
 	p.waitCh = nil
 	p.procState = nil
 	p.journal = p.journal[:0]
+	p.starts = p.starts[:0]
+	p.sessStart = 0
 }
 
 // classifyExit turns an exit status into the fault identity that keys the
@@ -583,12 +681,31 @@ func isTimeout(err error) bool {
 // is private to the call; the configured Addr must be free (replay after
 // closing the capturing executor, or configure a different port).
 func Replay(cfg ProcConfig, seq [][]byte) (sandbox.Result, error) {
+	return ReplaySession(cfg, seq, nil)
+}
+
+// ReplaySession is Replay honoring recorded session boundaries
+// (crash.Record.SeqStarts): at each boundary index the replay calls
+// BeginSession, re-running the session's handshake steps against fresh
+// per-connection server state — activation flags and sequence numbers
+// regenerate on the server exactly as they did during capture — instead
+// of pushing every packet byte-blind down one long-lived connection.
+func ReplaySession(cfg ProcConfig, seq [][]byte, starts []int) (sandbox.Result, error) {
 	p, err := NewProc(cfg)
 	if err != nil {
 		return sandbox.Result{}, err
 	}
 	defer p.Close()
-	for _, pkt := range seq {
+	si := 0
+	for i, pkt := range seq {
+		if si < len(starts) && starts[si] <= i {
+			if err := p.BeginSession(); err != nil {
+				return sandbox.Result{}, err
+			}
+			for si < len(starts) && starts[si] <= i {
+				si++
+			}
+		}
 		res, err := p.Run(pkt)
 		if err != nil {
 			return sandbox.Result{}, err

@@ -21,7 +21,10 @@ import (
 // hang, external kill, survived connection drop — is exercised
 // deterministically against a real process.
 
-var serverBin string
+var (
+	serverBin   string
+	statefulBin string
+)
 
 func TestMain(m *testing.M) {
 	dir, err := os.MkdirTemp("", "executor-test")
@@ -30,11 +33,17 @@ func TestMain(m *testing.M) {
 		os.Exit(1)
 	}
 	serverBin = filepath.Join(dir, "toy-modbus-server")
-	out, err := exec.Command("go", "build", "-o", serverBin, "repro/examples/realtarget/server").CombinedOutput()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "building toy server: %v\n%s", err, out)
-		os.RemoveAll(dir)
-		os.Exit(1)
+	statefulBin = filepath.Join(dir, "toy-stateful-server")
+	for bin, pkg := range map[string]string{
+		serverBin:   "repro/examples/realtarget/server",
+		statefulBin: "repro/examples/stateful/server",
+	} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
 	}
 	code := m.Run()
 	os.RemoveAll(dir)

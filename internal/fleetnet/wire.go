@@ -46,9 +46,12 @@
 // answers with min(its own highest, the dialer's). Both sides then require
 // the negotiated version to be at least their own minimum supported
 // version — otherwise they send an error frame and close. Version 2 added
-// the peer-exchange fields to hello/helloAck; this build speaks (and
-// requires) exactly version 2, so a v1 peer is refused with a clear error
-// rather than misdecoding frames.
+// the peer-exchange fields to hello/helloAck; version 3 added session
+// sequences to the corpus delta (as opaque puzzles — no layout change).
+// This build speaks version 3 and accepts version 2, so a v1 peer is
+// refused with a clear error rather than misdecoding frames, while a v2
+// peer interoperates fully (sequence entries are opaque to it and relay
+// losslessly).
 //
 // # Determinism
 //
@@ -74,12 +77,19 @@ import (
 // for the negotiation rule.
 const (
 	// ProtocolVersion is the highest protocol version this build speaks.
-	// v2 added the peer-exchange fields to hello/helloAck.
-	ProtocolVersion = 2
+	// v2 added the peer-exchange fields to hello/helloAck. v3 declares
+	// session-sequence corpus entries (reserved "seq\x00" signature
+	// namespace, versioned session-codec Data): sequences ride the
+	// generic puzzle delta with no frame-layout change, so the bump is a
+	// capability advertisement, not a wire change.
+	ProtocolVersion = 3
 	// MinProtocolVersion is the lowest peer version this build accepts.
 	// v1 peers are refused: their hello/helloAck layouts lack the v2
 	// peer-exchange tail, and a session negotiated below a build's wire
-	// layout would misdecode frames.
+	// layout would misdecode frames. v2 peers remain accepted — the v3
+	// sequence entries are ordinary puzzles to them, stored and relayed
+	// losslessly (signature, model and data are opaque on the wire), so a
+	// mixed-version fleet still converges to the union of all work.
 	MinProtocolVersion = 2
 )
 

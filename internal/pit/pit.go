@@ -38,8 +38,9 @@ import (
 
 // xmlPit mirrors the document root.
 type xmlPit struct {
-	XMLName    xml.Name   `xml:"Pit"`
-	DataModels []xmlChunk `xml:"DataModel"`
+	XMLName     xml.Name        `xml:"Pit"`
+	DataModels  []xmlChunk      `xml:"DataModel"`
+	StateModels []xmlStateModel `xml:"StateModel"`
 }
 
 // xmlChunk is the recursive element form shared by all chunk kinds.
@@ -73,12 +74,25 @@ type xmlFixup struct {
 }
 
 // Parse reads a Pit document and returns its data models, validated.
+// <StateModel> elements are ignored; use ParseDocument for both halves.
 func Parse(r io.Reader) ([]*datamodel.Model, error) {
 	var doc xmlPit
-	dec := xml.NewDecoder(r)
-	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("pit: %w", err)
+	if err := decodePit(r, &doc); err != nil {
+		return nil, err
 	}
+	return convertModels(&doc)
+}
+
+// decodePit unmarshals the XML root.
+func decodePit(r io.Reader, doc *xmlPit) error {
+	if err := xml.NewDecoder(r).Decode(doc); err != nil {
+		return fmt.Errorf("pit: %w", err)
+	}
+	return nil
+}
+
+// convertModels validates and converts the document's data models.
+func convertModels(doc *xmlPit) ([]*datamodel.Model, error) {
 	if len(doc.DataModels) == 0 {
 		return nil, fmt.Errorf("pit: document declares no DataModel")
 	}

@@ -65,6 +65,11 @@ type Result struct {
 	// process executor. Always nil for in-process executions, whose
 	// targets are reset around every packet.
 	Repro [][]byte
+	// ReproStarts, when Repro is non-nil, lists the indices into Repro
+	// where a protocol session began (executor.SessionExecutor
+	// boundaries). Empty when the journal spans a single implicit
+	// session.
+	ReproStarts []int
 }
 
 // Target is the minimal interface the sandbox needs: a packet handler that
@@ -93,6 +98,10 @@ func NewRunner(t Target) *Runner {
 // Tracer exposes the runner's coverage tracer so the engine can inspect the
 // map of the most recent execution.
 func (r *Runner) Tracer() *coverage.Tracer { return r.tracer }
+
+// Target exposes the runner's target instance, so session-aware callers
+// can reach optional per-session interfaces the target implements.
+func (r *Runner) Target() Target { return r.target }
 
 // Run executes one packet, returning the classified result. The tracer is
 // reset before the execution, so after Run returns the tracer holds exactly

@@ -1,0 +1,101 @@
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// codecVersion is the sequence wire-format version. The version byte
+// leads every encoded sequence so corpus journals and fleetnet frames
+// written by newer engines stay recognizable (and rejectable) by older
+// ones, and so the format can evolve without a flag day.
+const codecVersion = 1
+
+// maxDecodeSteps bounds decoded sequences; it is far above any walk the
+// engine generates and exists only to stop a hostile length prefix from
+// allocating unbounded memory.
+const maxDecodeSteps = 1 << 16
+
+// Encode appends the versioned binary encoding of s to dst and returns
+// the extended slice. Layout: version byte, uvarint step count, then per
+// step uvarint state, uvarint action, uvarint payload length, payload.
+func Encode(dst []byte, s Sequence) []byte {
+	dst = append(dst, codecVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Steps)))
+	for _, st := range s.Steps {
+		dst = binary.AppendUvarint(dst, uint64(st.State))
+		dst = binary.AppendUvarint(dst, uint64(st.Action))
+		dst = binary.AppendUvarint(dst, uint64(len(st.Data)))
+		dst = append(dst, st.Data...)
+	}
+	return dst
+}
+
+// uvarint reads a minimally-encoded unsigned varint from data. It
+// rejects non-minimal encodings (0x80 0x00 for zero, and so on) so that
+// decoding is canonical: every accepted buffer re-encodes to itself,
+// which keeps corpus dedup by byte signature honest.
+func uvarint(data []byte) (uint64, int) {
+	v, used := binary.Uvarint(data)
+	if used > 1 && data[used-1] == 0 {
+		return 0, 0
+	}
+	return v, used
+}
+
+// Decode parses an Encode-produced buffer. Payload slices are copied out
+// of data, so the caller may recycle the input. Unknown versions,
+// truncated or oversized inputs, and non-minimal varint encodings (the
+// codec is canonical: Decode accepts exactly what Encode emits) return
+// an error.
+func Decode(data []byte) (Sequence, error) {
+	if len(data) == 0 {
+		return Sequence{}, fmt.Errorf("session: empty sequence encoding")
+	}
+	if data[0] != codecVersion {
+		return Sequence{}, fmt.Errorf("session: unknown sequence codec version %d", data[0])
+	}
+	data = data[1:]
+	n, used := uvarint(data)
+	if used <= 0 {
+		return Sequence{}, fmt.Errorf("session: bad step count")
+	}
+	if n > maxDecodeSteps {
+		return Sequence{}, fmt.Errorf("session: step count %d exceeds limit", n)
+	}
+	data = data[used:]
+	steps := make([]Step, 0, n)
+	for i := uint64(0); i < n; i++ {
+		state, used := uvarint(data)
+		if used <= 0 {
+			return Sequence{}, fmt.Errorf("session: step %d: bad state", i)
+		}
+		data = data[used:]
+		action, used := uvarint(data)
+		if used <= 0 {
+			return Sequence{}, fmt.Errorf("session: step %d: bad action", i)
+		}
+		data = data[used:]
+		size, used := uvarint(data)
+		if used <= 0 {
+			return Sequence{}, fmt.Errorf("session: step %d: bad payload length", i)
+		}
+		data = data[used:]
+		if uint64(len(data)) < size {
+			return Sequence{}, fmt.Errorf("session: step %d: payload truncated", i)
+		}
+		if state > maxDecodeSteps || action > maxDecodeSteps {
+			return Sequence{}, fmt.Errorf("session: step %d: index out of range", i)
+		}
+		steps = append(steps, Step{
+			State:  int(state),
+			Action: int(action),
+			Data:   append([]byte(nil), data[:size]...),
+		})
+		data = data[size:]
+	}
+	if len(data) != 0 {
+		return Sequence{}, fmt.Errorf("session: %d trailing bytes after sequence", len(data))
+	}
+	return Sequence{Steps: steps}, nil
+}

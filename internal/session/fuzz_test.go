@@ -1,0 +1,35 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSequenceCodec feeds arbitrary bytes to Decode; whatever decodes
+// must re-encode byte-identically (round-trip), and Decode must never
+// panic or over-allocate on hostile input.
+func FuzzSequenceCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(nil, Sequence{}))
+	f.Add(Encode(nil, Sequence{Steps: []Step{
+		{State: 0, Action: 1, Data: []byte("startdt")},
+		{State: 1, Action: 0, Data: []byte{0x68, 0x04, 0x07, 0x00, 0x00, 0x00}},
+	}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(nil, s)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", data, enc)
+		}
+		s2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(s2.Steps) != len(s.Steps) {
+			t.Fatalf("re-decode step count differs")
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// testModel is a small machine with a handshake shape: stopped can only
+// start or ping; started can send data, ping, or stop back.
+func testModel() *StateModel {
+	return &StateModel{
+		Name:    "toy",
+		Initial: 0,
+		States: []State{
+			{Name: "stopped", Actions: []Action{
+				{Model: "Start", Next: 1},
+				{Model: "Ping", Next: 0},
+			}},
+			{Name: "started", Actions: []Action{
+				{Model: "Data", Next: 1},
+				{Model: "Ping", Next: 1},
+				{Model: "Stop", Next: 0},
+			}},
+		},
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	sm := testModel()
+	if err := sm.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := testModel()
+	bad.States[1].Actions[0].Next = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("out-of-range next accepted")
+	}
+	dup := testModel()
+	dup.States[1].Name = "stopped"
+	if err := dup.Validate(); err == nil {
+		t.Fatalf("duplicate state name accepted")
+	}
+	empty := &StateModel{Name: "e", States: []State{{Name: "s"}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatalf("actionless model accepted")
+	}
+}
+
+// randomWalk builds a legal sequence by walking the model.
+func randomWalk(r *rng.RNG, sm *StateModel, maxSteps int) Sequence {
+	var s Sequence
+	cur := sm.Initial
+	for len(s.Steps) < maxSteps {
+		acts := sm.States[cur].Actions
+		if len(acts) == 0 {
+			break
+		}
+		ai := r.Intn(len(acts))
+		s.Steps = append(s.Steps, Step{State: cur, Action: ai, Data: []byte{byte(cur), byte(ai)}})
+		cur = acts[ai].Next
+		if r.Chance(4) {
+			break
+		}
+	}
+	return s
+}
+
+// garble scrambles indices so Repair has real work to do.
+func garble(r *rng.RNG, s *Sequence) {
+	for i := range s.Steps {
+		if r.Chance(3) {
+			s.Steps[i].State = r.Intn(4) - 1
+		}
+		if r.Chance(3) {
+			s.Steps[i].Action = r.Intn(5) - 1
+		}
+	}
+}
+
+// TestSessionRepairProperty: Repair always yields a legal walk, even
+// from garbage, and preserves the model intent of surviving steps.
+func TestSessionRepairProperty(t *testing.T) {
+	sm := testModel()
+	r := rng.New(7)
+	for trial := 0; trial < 5000; trial++ {
+		s := randomWalk(r, sm, 10)
+		garble(r, &s)
+		sm.Repair(&s)
+		if err := sm.Valid(s); err != nil {
+			t.Fatalf("trial %d: repaired sequence invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestSessionOpsStayInAlphabet: every sequence operator, applied to
+// arbitrary legal walks (and, for splice, arbitrary donors), produces a
+// sequence whose every transition is in the state model's alphabet —
+// i.e. Valid never fails. This is the satellite property test.
+func TestSessionOpsStayInAlphabet(t *testing.T) {
+	sm := testModel()
+	r := rng.New(42)
+	for trial := 0; trial < 5000; trial++ {
+		base := randomWalk(r, sm, 10)
+		donor := randomWalk(r, sm, 10)
+		op := r.Intn(NumOps)
+		Apply(r, sm, op, &base, donor)
+		if err := sm.Valid(base); err != nil {
+			t.Fatalf("trial %d: op %s produced out-of-alphabet sequence: %v", trial, OpName(op), err)
+		}
+	}
+}
+
+// TestSessionOpsOnEmpty: operators tolerate empty bases and donors.
+func TestSessionOpsOnEmpty(t *testing.T) {
+	sm := testModel()
+	r := rng.New(3)
+	for op := 0; op < NumOps; op++ {
+		var empty Sequence
+		Apply(r, sm, op, &empty, Sequence{})
+		if err := sm.Valid(empty); err != nil {
+			t.Fatalf("op %s on empty: %v", OpName(op), err)
+		}
+	}
+}
+
+func TestSessionTruncateKeepsPrefix(t *testing.T) {
+	sm := testModel()
+	r := rng.New(9)
+	for trial := 0; trial < 200; trial++ {
+		s := randomWalk(r, sm, 10)
+		orig := s.Clone()
+		Truncate(r, sm, &s)
+		if len(s.Steps) > len(orig.Steps) {
+			t.Fatalf("truncate grew the sequence")
+		}
+		if len(orig.Steps) > 1 && len(s.Steps) >= len(orig.Steps) {
+			t.Fatalf("truncate kept the whole sequence")
+		}
+		for i := range s.Steps {
+			if !bytes.Equal(s.Steps[i].Data, orig.Steps[i].Data) {
+				t.Fatalf("truncate is not a prefix at step %d", i)
+			}
+		}
+	}
+}
+
+func TestSessionCodecRoundTrip(t *testing.T) {
+	sm := testModel()
+	r := rng.New(11)
+	for trial := 0; trial < 500; trial++ {
+		s := randomWalk(r, sm, 10)
+		enc := Encode(nil, s)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(dec.Steps) != len(s.Steps) {
+			t.Fatalf("trial %d: step count %d != %d", trial, len(dec.Steps), len(s.Steps))
+		}
+		for i := range s.Steps {
+			if dec.Steps[i].State != s.Steps[i].State || dec.Steps[i].Action != s.Steps[i].Action ||
+				!bytes.Equal(dec.Steps[i].Data, s.Steps[i].Data) {
+				t.Fatalf("trial %d: step %d mismatch", trial, i)
+			}
+		}
+		// Re-encoding the decoded value must be byte-identical (canonical
+		// form), which is what lets corpus dedup collapse duplicates.
+		if !bytes.Equal(Encode(nil, dec), enc) {
+			t.Fatalf("trial %d: re-encode differs", trial)
+		}
+	}
+}
+
+func TestSessionCodecRejects(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatalf("nil input accepted")
+	}
+	if _, err := Decode([]byte{99}); err == nil {
+		t.Fatalf("unknown version accepted")
+	}
+	good := Encode(nil, Sequence{Steps: []Step{{State: 0, Action: 0, Data: []byte("abc")}}})
+	if _, err := Decode(good[:len(good)-1]); err == nil {
+		t.Fatalf("truncated payload accepted")
+	}
+	if _, err := Decode(append(good, 0)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+}
+
+func TestSessionCloneIsDeep(t *testing.T) {
+	s := Sequence{Steps: []Step{{State: 0, Action: 0, Data: []byte{1, 2}}}}
+	c := s.Clone()
+	s.Steps[0].Data[0] = 9
+	if c.Steps[0].Data[0] != 1 {
+		t.Fatalf("clone shares payload bytes")
+	}
+}
+
+// TestSessionOpsDeterministic: identical seeds produce identical
+// operator outcomes — the reproducibility contract sequence runs rely on.
+func TestSessionOpsDeterministic(t *testing.T) {
+	sm := testModel()
+	run := func() []byte {
+		r := rng.New(123)
+		var out []byte
+		for trial := 0; trial < 200; trial++ {
+			base := randomWalk(r, sm, 10)
+			donor := randomWalk(r, sm, 10)
+			Apply(r, sm, r.Intn(NumOps), &base, donor)
+			out = Encode(out, base)
+		}
+		return out
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatalf("sequence ops are not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,126 @@
+package iec104
+
+import (
+	"repro/internal/coverage"
+	"repro/internal/datamodel"
+	"repro/internal/mem"
+	"repro/internal/session"
+)
+
+// DeepSlave is the deep-state conformance target: an IEC 60870-5-104
+// station core whose planted fault is reachable only through a correct
+// multi-message session — STARTDT activation followed by at least two
+// processed I-frames, then a single command, all without an intervening
+// session reset. It exists to pin the session-fuzzing loop's reason for
+// being: a single-packet campaign provably cannot reach the fault, because
+// every execution starts from the deactivated state and the fault is gated
+// on per-session progress a lone packet cannot accumulate.
+//
+// DeepSlave is deliberately NOT in the target registry and owns a private
+// coverage block region, so registering campaigns and their golden
+// fingerprints never see it.
+type DeepSlave struct {
+	id   []coverage.BlockID
+	heap *mem.Heap
+
+	started  bool   // STARTDT activation (session state)
+	vr       uint16 // expected N(S) of the next in-order I-frame
+	accepted int    // I-frames processed since activation
+}
+
+// NewDeep returns a fresh deep-state slave in the stopped state.
+func NewDeep() *DeepSlave {
+	return &DeepSlave{id: coverage.Blocks("iec104deep", 32), heap: mem.NewHeap()}
+}
+
+// Name implements targets.Target.
+func (d *DeepSlave) Name() string { return "IEC104Deep" }
+
+// Models implements targets.Target: the standard IEC104 model set.
+func (d *DeepSlave) Models() []*datamodel.Model { return IEC104Models() }
+
+// StateModel implements targets.SessionTarget.
+func (d *DeepSlave) StateModel() *session.StateModel { return IEC104StateModel() }
+
+// ResetSession implements targets.SessionTarget: the per-connection gate
+// state clears; the fault requires re-walking the whole prefix.
+func (d *DeepSlave) ResetSession() {
+	d.started = false
+	d.vr = 0
+	d.accepted = 0
+}
+
+func (d *DeepSlave) hit(tr *coverage.Tracer, n int) { tr.Hit(d.id[n]) }
+
+// Handle implements targets.Target.
+func (d *DeepSlave) Handle(tr *coverage.Tracer, pkt []byte) {
+	d.hit(tr, 0)
+	if len(pkt) < 6 || pkt[0] != 0x68 || int(pkt[1]) != len(pkt)-2 {
+		d.hit(tr, 1)
+		return
+	}
+	ctrl1 := pkt[2]
+	switch {
+	case ctrl1&0x01 == 0: // I format
+		d.hit(tr, 2)
+		d.iFrame(tr, pkt)
+	case ctrl1&0x03 == 0x01: // S format
+		d.hit(tr, 3)
+	default: // U format
+		d.uFrame(tr, ctrl1)
+	}
+}
+
+// uFrame drives the activation gate.
+func (d *DeepSlave) uFrame(tr *coverage.Tracer, ctrl1 byte) {
+	switch ctrl1 {
+	case 0x07: // STARTDT act
+		d.hit(tr, 4)
+		d.started = true
+		d.vr = 0
+		d.accepted = 0
+	case 0x13: // STOPDT act
+		d.hit(tr, 5)
+		d.started = false
+	case 0x43: // TESTFR act
+		d.hit(tr, 6)
+	default:
+		d.hit(tr, 7)
+	}
+}
+
+// iFrame processes a data frame: dropped while deactivated, counted while
+// activated. The single command fired after two processed I-frames walks a
+// freed buffer — the planted deep-state fault.
+func (d *DeepSlave) iFrame(tr *coverage.Tracer, pkt []byte) {
+	if !d.started {
+		d.hit(tr, 8)
+		return
+	}
+	if len(pkt) < 12 {
+		d.hit(tr, 9)
+		return
+	}
+	// In-order delivery earns an extra branch; the gate below does not
+	// require it — the fault is about session depth, not about the fuzzer
+	// tracking the exact sequence-number discipline.
+	ns := uint16(pkt[2])>>1 | uint16(pkt[3])<<7
+	if ns == d.vr {
+		d.hit(tr, 10)
+	} else {
+		d.hit(tr, 11)
+	}
+	d.vr++
+	typeID := pkt[6]
+	if typeID == typeCScNa && d.accepted >= 2 {
+		d.hit(tr, 12)
+		// The planted fault: command handling reads a connection buffer
+		// that deep session progress has already torn down.
+		buf := d.heap.Alloc(8)
+		d.heap.Free(buf, "iec104deep.command.teardown")
+		d.heap.LoadN(buf, 4, "iec104deep.command.deep") // heap-use-after-free
+		return
+	}
+	d.hit(tr, 13)
+	d.accepted++
+}

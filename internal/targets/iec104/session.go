@@ -1,0 +1,51 @@
+package iec104
+
+import "repro/internal/session"
+
+// This file makes the IEC104 slave a targets.SessionTarget: the
+// IEC 60870-5-104 connection state machine as a session.StateModel (the
+// STARTDT activation gate every real 104 outstation enforces), and the
+// per-connection reset a reconnect implies.
+
+// ResetSession implements targets.SessionTarget: a fresh connection
+// starts deactivated with zeroed sequence counters. Stored process data
+// (points, measured values) is station state, not connection state, and
+// survives — as it does on a real outstation across reconnects. No
+// coverage is reported: a reset is not an execution.
+func (s *Slave) ResetSession() {
+	s.started = false
+	s.vr, s.vs = 0, 0
+	s.lastCOT = 0
+}
+
+// StateModel implements targets.SessionTarget.
+func (s *Slave) StateModel() *session.StateModel { return IEC104StateModel() }
+
+// IEC104StateModel builds the 104 connection state machine over the
+// IEC104Models set: data transfer is gated on STARTDT activation, so
+// I-frame models only appear in the started state. UFrameStart defaults
+// to STARTDT-act (its legal set carries the other U functions, which
+// mutators explore), so sending it from stopped activates the connection.
+func IEC104StateModel() *session.StateModel {
+	return &session.StateModel{
+		Name:    "IEC104Session",
+		Initial: 0,
+		States: []session.State{
+			{Name: "stopped", Actions: []session.Action{
+				{Model: "UFrameStart", Next: 1},
+				{Model: "SFrame", Next: 0},
+			}},
+			{Name: "started", Actions: []session.Action{
+				{Model: "SinglePoint", Next: 1},
+				{Model: "MeasuredValue", Next: 1},
+				{Model: "SingleCommand", Next: 1},
+				{Model: "Interrogation", Next: 1},
+				{Model: "ClockSync", Next: 1},
+				{Model: "ReadCommand", Next: 1},
+				{Model: "TestCommand", Next: 1},
+				{Model: "SFrame", Next: 1},
+				{Model: "UFrameStart", Next: 1},
+			}},
+		},
+	}
+}

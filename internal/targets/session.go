@@ -1,0 +1,23 @@
+package targets
+
+import "repro/internal/session"
+
+// SessionTarget is a Target that supports stateful-session fuzzing: it
+// publishes the protocol's session state machine (which message may be
+// sent in which state, and where sending it leads) and can reset its
+// per-connection session state between sequences.
+//
+// In-process session campaigns reset the target at every sequence
+// boundary (the in-process analogue of reconnecting to a real server);
+// long-lived server state — register banks, stored points — survives the
+// reset, exactly as it survives a TCP reconnect against a real target.
+type SessionTarget interface {
+	Target
+	// StateModel returns the target's protocol session state machine.
+	// Callers treat it as immutable.
+	StateModel() *session.StateModel
+	// ResetSession clears per-connection session state (activation,
+	// sequence counters) while preserving long-lived server state. It
+	// must not report coverage: a reset is not an execution.
+	ResetSession()
+}

@@ -10,8 +10,8 @@ import "time"
 // and a slow consumer loses old progress snapshots, never crash reports.
 
 // Event is one item of a Run's event stream. The concrete types are
-// StatsEvent, NewCoverageEvent, CrashEvent, DistillEvent, and
-// SyncWindowEvent; consumers type-switch:
+// StatsEvent, NewCoverageEvent, CrashEvent, DistillEvent, StateEvent,
+// and SyncWindowEvent; consumers type-switch:
 //
 //	for ev := range run.Events() {
 //		switch ev := ev.(type) {
@@ -94,6 +94,22 @@ type DistillEvent struct {
 }
 
 func (DistillEvent) event() {}
+
+// StateEvent reports that a session campaign (Options.Sessions /
+// Options.StateModel) reached a protocol state for the first time — the
+// state-machine analogue of NewCoverageEvent. Emitted at the end of the
+// merge window in which a worker first sent a message from the state; on
+// a multi-worker fleet each worker reports its own first reach.
+type StateEvent struct {
+	// State is the reached state's name in the campaign's StateModel.
+	State string
+	// Exec is the worker's execution count when the state was reached.
+	Exec int
+	// Worker indexes the worker that reached it.
+	Worker int
+}
+
+func (StateEvent) event() {}
 
 // SyncWindowEvent reports one remote sync exchange of a leaf or mesh
 // attachment: the push/pull round trip that merges this campaign's

@@ -145,7 +145,10 @@ func ReplayCrash(b ExecBackend, rec *CrashRecord) (ReplayResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	res, err := executor.Replay(cfg, rec.Sequence)
+	// Honor recorded session boundaries: handshake steps re-run against
+	// fresh per-connection server state (sequence numbers regenerate)
+	// instead of a byte-blind replay down one connection.
+	res, err := executor.ReplaySession(cfg, rec.Sequence, rec.SeqStarts)
 	if err != nil {
 		return ReplayResult{}, err
 	}

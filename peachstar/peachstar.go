@@ -42,6 +42,7 @@ import (
 	"repro/internal/datamodel"
 	"repro/internal/pit"
 	"repro/internal/sandbox"
+	"repro/internal/session"
 	"repro/internal/targets"
 
 	// Register the six evaluated protocol targets.
@@ -114,6 +115,33 @@ type CrashRecord = crash.Record
 // Puzzle is one corpus entry produced by cracking a valuable packet.
 type Puzzle = corpus.Puzzle
 
+// StateModel is a protocol session state machine: which message models may
+// be sent in which state, and where sending each one leads. Build one
+// directly from States, parse one from a Pit file's <StateModel> element
+// (ParsePitDocument), or take a built-in target's via SessionTarget.
+type StateModel = session.StateModel
+
+// State is one node of a StateModel.
+type State = session.State
+
+// Action is one outgoing transition of a State: the data model it sends
+// and the state it leads to.
+type Action = session.Action
+
+// SessionTarget is a Target that supports stateful-session fuzzing: it
+// publishes its protocol's StateModel and can reset per-connection session
+// state between sequences. The built-in IEC104 target implements it.
+type SessionTarget = targets.SessionTarget
+
+// StateCoverage is one protocol state's per-state campaign accounting
+// (Stats.StateCoverage): messages sent from the state and coverage edges
+// first lit by them. Populated only on session campaigns.
+type StateCoverage = core.StateCoverage
+
+// PitDocument is a fully parsed Pit file: data models plus any session
+// state machines (<StateModel>) that reference them.
+type PitDocument = pit.Document
+
 // Options configures a campaign.
 type Options struct {
 	// Target is the protocol program under test. Use NewTarget for the
@@ -157,6 +185,22 @@ type Options struct {
 	// identical to builds that predate the scheduler. Progress surfaces
 	// as Stats.MutatorStats, Stats.Distills, and DistillEvents.
 	Adaptive bool
+	// Sessions switches the campaign to stateful-session fuzzing: instead
+	// of independent single packets, each iteration generates and sends a
+	// legal message sequence through the protocol's state machine, with
+	// per-state coverage accounting and sequence-level mutation. The state
+	// machine is StateModel when non-nil, otherwise the target's own
+	// (Options.Target must then be a SessionTarget). Session campaigns are
+	// reproducible for a fixed seed; with Sessions false and StateModel nil
+	// (the default) campaigns are bit-for-bit identical to builds that
+	// predate session fuzzing. Progress surfaces as Stats.Sequences,
+	// Stats.StateCoverage, Stats.SeqOpStats, and StateEvents.
+	Sessions bool
+	// StateModel is the session state machine to fuzz through, implying
+	// Sessions when non-nil — for custom targets and Pit-parsed models
+	// (ParsePitDocument). Every Action must name a model in the campaign's
+	// model set.
+	StateModel *StateModel
 }
 
 // Campaign is one fuzzing campaign. Drive it with Start (a cancellable
@@ -181,6 +225,15 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	if models == nil {
 		models = opts.Target.Models()
 	}
+	sm := opts.StateModel
+	if sm == nil && opts.Sessions {
+		st, ok := opts.Target.(SessionTarget)
+		if !ok {
+			return nil, fmt.Errorf("peachstar: Options.Sessions needs a state machine: target %q is not a SessionTarget and Options.StateModel is nil",
+				opts.Target.Name())
+		}
+		sm = st.StateModel()
+	}
 	c := &Campaign{
 		cfg: core.Config{
 			Models:   models,
@@ -189,6 +242,7 @@ func NewCampaign(opts Options) (*Campaign, error) {
 			Seed:     opts.Seed,
 			MaxBatch: opts.MaxBatch,
 			Adaptive: opts.Adaptive,
+			Session:  sm,
 		},
 		userFactory: opts.TargetFactory,
 		seedStream:  opts.SeedStream,
@@ -366,6 +420,15 @@ func ParsePit(r io.Reader) ([]*Model, error) { return pit.Parse(r) }
 
 // ParsePitString is ParsePit over an in-memory document.
 func ParsePitString(s string) ([]*Model, error) { return pit.ParseString(s) }
+
+// ParsePitDocument reads an XML Pit specification into both halves: the
+// data models and any <StateModel> session state machines referencing
+// them. Feed a parsed state machine to Options.StateModel for a session
+// campaign over the document's models.
+func ParsePitDocument(r io.Reader) (*PitDocument, error) { return pit.ParseDocument(r) }
+
+// ParsePitDocumentString is ParsePitDocument over an in-memory document.
+func ParsePitDocumentString(s string) (*PitDocument, error) { return pit.ParseDocumentString(s) }
 
 // Blocks pre-computes n deterministic instrumentation block IDs for a named
 // region of a custom target (cf. DESIGN.md §2.2 on the instrumentation

@@ -416,7 +416,8 @@ func (r *Run) Stop() {
 func (r *Run) Done() <-chan struct{} { return r.done }
 
 // Events returns the session's typed event stream: StatsEvent,
-// NewCoverageEvent, CrashEvent and SyncWindowEvent items, emitted at
+// NewCoverageEvent, CrashEvent, DistillEvent, StateEvent and
+// SyncWindowEvent items, emitted at
 // merge-window granularity and closed when the session ends. The stream
 // observes the campaign; it never perturbs it: events are produced
 // without blocking the fuzzing loop, and when a slow consumer lets the
@@ -658,6 +659,9 @@ func (r *Run) windowHook(w core.WindowInfo) {
 	}
 	if w.NewEdges > 0 {
 		r.emit(NewCoverageEvent{Edges: w.Edges, Delta: w.NewEdges, Worker: w.Worker})
+	}
+	for _, st := range w.NewStates {
+		r.emit(StateEvent{State: st.State, Exec: st.Exec, Worker: w.Worker})
 	}
 	for _, d := range w.Distills {
 		r.emit(DistillEvent{
