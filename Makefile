@@ -38,10 +38,13 @@ race:
 # against the bundled toy Modbus server while a chaos goroutine SIGKILLs
 # the server out from under the supervisor. The session must complete, no
 # coverage or corpus may be lost across restarts, and every captured
-# reproducer must replay without diverging (see soak_test.go). Gated behind
-# PEACHSTAR_SOAK so plain `go test ./...` stays fast and deterministic.
+# reproducer must replay without diverging (see soak_test.go). The
+# kill-and-resume storm does the same to the *fuzzer*: the peachstar CLI is
+# repeatedly SIGKILLed mid-campaign and resumed from its durable checkpoint
+# (see checkpoint_soak_test.go). Gated behind PEACHSTAR_SOAK so plain
+# `go test ./...` stays fast and deterministic.
 soak:
-	PEACHSTAR_SOAK=1 $(GO) test -run 'TestSoakRealTarget' -count=1 -timeout 300s -v .
+	PEACHSTAR_SOAK=1 $(GO) test -run 'TestSoakRealTarget|TestSoakKillResume' -count=1 -timeout 300s -v .
 
 # Documentation gate: vet (which checks doc-comment placement pragmas),
 # a package-doc presence check over every library package, and the
@@ -52,10 +55,11 @@ soak:
 docs-check:
 	@$(GO) vet ./...
 	@fail=0; \
-	for dir in internal/backoff internal/core internal/corpus internal/coverage \
-	           internal/crash internal/datamodel internal/executor internal/fleetnet \
-	           internal/mem internal/mutator internal/pit internal/rng \
-	           internal/sandbox internal/session internal/bench internal/targets peachstar; do \
+	for dir in internal/backoff internal/checkpoint internal/core internal/corpus \
+	           internal/coverage internal/crash internal/datamodel internal/executor \
+	           internal/fleetnet internal/mem internal/mutator internal/pit \
+	           internal/rng internal/sandbox internal/session internal/bench \
+	           internal/targets peachstar; do \
 	  pkg=$$(basename $$dir); \
 	  if ! grep -l "^// Package $$pkg " $$dir/*.go >/dev/null 2>&1; then \
 	    echo "docs-check: package $$dir has no '// Package $$pkg' doc comment"; fail=1; \
@@ -66,6 +70,8 @@ docs-check:
 	  || { echo "docs-check: ARCHITECTURE.md lost the 'Scheduler & distillation' section"; fail=1; }; \
 	grep -q "Session fuzzing" ARCHITECTURE.md 2>/dev/null \
 	  || { echo "docs-check: ARCHITECTURE.md lost the 'Session fuzzing' section"; fail=1; }; \
+	grep -q "Durable checkpoints" ARCHITECTURE.md 2>/dev/null \
+	  || { echo "docs-check: ARCHITECTURE.md lost the 'Durable checkpoints' section"; fail=1; }; \
 	exit $$fail
 	$(GO) test -race ./internal/fleetnet
 
@@ -84,12 +90,15 @@ api-check:
 api-snapshot:
 	$(GO) run ./cmd/apicheck -update
 
-# Short native-fuzz smoke runs over the crack/generate round-trip targets.
+# Short native-fuzz smoke runs over the crack/generate round-trip targets
+# and the campaign-checkpoint decoder (truncated, corrupt, and
+# non-minimal-varint envelopes must be rejected with errors, never panics).
 fuzz:
 	$(GO) test ./internal/datamodel -fuzz 'FuzzCrack$$' -fuzztime 10s -run XXX
 	$(GO) test ./internal/datamodel -fuzz 'FuzzGenerate$$' -fuzztime 10s -run XXX
 	$(GO) test ./internal/datamodel -fuzz 'FuzzCrackSeedCorpusBytes$$' -fuzztime 10s -run XXX
 	$(GO) test ./internal/session -fuzz 'FuzzSequenceCodec$$' -fuzztime 10s -run XXX
+	$(GO) test . -fuzz 'FuzzCheckpointDecode$$' -fuzztime 10s -run XXX
 
 # Serial-vs-sharded throughput on libmodbus (the BENCH_parallel.json rows).
 bench-parallel:

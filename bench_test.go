@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -205,9 +206,15 @@ func BenchmarkExtensionMutation(b *testing.B) {
 
 // benchParallel measures raw executions per second of the sharded campaign
 // runner on libmodbus at a given parallelism — the scaling evidence for the
-// fleet. Near-linear growth of execs/s from 1 to N workers is the target.
+// fleet. Near-linear growth of execs/s from 1 to N workers is the target,
+// but only where the cores exist: a curve recorded with workers >
+// runtime.NumCPU() measures scheduling contention and sharding overhead,
+// not scaling, and BENCH_parallel.json labels such rows accordingly.
 func benchParallel(b *testing.B, workers int) {
 	b.Helper()
+	if workers > runtime.NumCPU() {
+		b.Logf("workers=%d > NumCPU=%d: this row measures contention overhead, not multi-core scaling", workers, runtime.NumCPU())
+	}
 	tgt, err := targets.New("libmodbus")
 	if err != nil {
 		b.Fatal(err)

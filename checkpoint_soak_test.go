@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestSoakKillResume is the durable-checkpoint half of `make soak`
+// (skipped unless PEACHSTAR_SOAK=1): a kill-9-and-resume storm against the
+// peachstar CLI. The fuzzer itself — not the target — is repeatedly
+// SIGKILLed mid-campaign and relaunched with -resume, so every relaunch
+// warm-restarts from the last durable checkpoint.
+//
+// Because a serial in-process campaign is a pure function of its
+// checkpoint state, the storm's final run must land on the *identical*
+// final fingerprint as one uninterrupted run of the same seed and budget:
+// each kill loses at most one checkpoint interval, and the resumed stream
+// re-executes exactly what was lost. That subsumes the weaker guarantees
+// (resumed coverage >= an equal-remaining-budget cold start, no banked
+// crash lost) and also proves the atomic checkpoint write: a SIGKILL
+// landing mid-write must never leave a half-written file behind, or the
+// next -resume would refuse to start.
+func TestSoakKillResume(t *testing.T) {
+	if os.Getenv("PEACHSTAR_SOAK") != "1" {
+		t.Skip("set PEACHSTAR_SOAK=1 (or run `make soak`) to run the kill-resume storm")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "peachstar-soak-cli")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/peachstar")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building peachstar CLI: %v\n%s", err, out)
+	}
+
+	const budget = 3000000
+	base := []string{
+		"-target", "libmodbus", "-adaptive",
+		"-execs", strconv.Itoa(budget), "-seed", "7",
+	}
+
+	// Uninterrupted reference run: same seed and budget, no checkpoints.
+	cold, err := exec.Command(bin, base...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cold reference run: %v\n%s", err, cold)
+	}
+	coldFinished := finishedLine(t, cold)
+
+	ckpt := filepath.Join(dir, "campaign.ckpt")
+	args := append(base, "-checkpoint", ckpt, "-checkpoint-every", "65536", "-resume")
+
+	resumedAt := regexp.MustCompile(`resumed from .*: (\d+) execs`)
+	kills, prevResume := 0, 0
+	var final []byte
+	for attempt := 0; ; attempt++ {
+		if attempt > 40 {
+			t.Fatalf("campaign did not finish after %d kills and %d attempts", kills, attempt)
+		}
+		cmd := exec.Command(bin, args...)
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+
+		// Storm phase: give the campaign a slice of progress, then
+		// SIGKILL it. Once enough kills landed, let it run out. The
+		// output buffer is only read after Wait returns, when the
+		// exec-internal copiers are finished with it.
+		var runErr error
+		finished := false
+		if kills < 8 {
+			select {
+			case runErr = <-done:
+				finished = true // budget spent before the storm was over
+			case <-time.After(400 * time.Millisecond):
+				_ = cmd.Process.Kill()
+				<-done
+				kills++
+			}
+		} else {
+			runErr = <-done
+			finished = true
+		}
+		out := buf.Bytes()
+
+		if m := resumedAt.FindSubmatch(out); m != nil {
+			at, _ := strconv.Atoi(string(m[1]))
+			if at < prevResume {
+				t.Fatalf("resume mark went backwards: %d after %d", at, prevResume)
+			}
+			if at >= budget {
+				t.Fatalf("resume mark %d at or past the %d budget", at, budget)
+			}
+			prevResume = at
+		}
+		if !finished {
+			continue
+		}
+		if runErr != nil {
+			t.Fatalf("campaign attempt %d failed: %v\n%s", attempt, runErr, out)
+		}
+		final = out
+		break
+	}
+	t.Logf("storm: %d SIGKILLs, last resume mark %d of %d execs", kills, prevResume, budget)
+	if kills == 0 {
+		t.Fatal("storm killed the campaign zero times; budget too small for this machine")
+	}
+
+	if got, want := finishedLine(t, final), coldFinished; got != want {
+		t.Fatalf("killed-and-resumed campaign diverged from the uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// The final checkpoint must still restore: the file the storm leaves
+	// behind is a valid save of the finished campaign.
+	restored := newCheckpointCampaign(t, "libmodbus", 1, true, false)
+	if err := restored.RestoreCheckpoint(ckpt); err != nil {
+		t.Fatalf("final checkpoint does not restore: %v", err)
+	}
+	if restored.Stats().Execs != budget {
+		t.Fatalf("final checkpoint holds %d execs, want %d", restored.Stats().Execs, budget)
+	}
+}
+
+// finishedLine extracts the CLI's final summary line, the campaign's whole
+// fingerprint (execs, paths, edges, crashes, hangs, corpus).
+func finishedLine(t *testing.T, out []byte) string {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^finished: .*$`).Find(out)
+	if m == nil {
+		t.Fatalf("no finished line in output:\n%s", out)
+	}
+	return string(m)
+}

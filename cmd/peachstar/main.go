@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +60,9 @@ func main() {
 		seedStream = flag.Int("seed-stream", 0, "RNG stream offset for this node's workers; give each leaf a disjoint range")
 		adaptive   = flag.Bool("adaptive", false, "enable the adaptive scheduler (learned mutator weights, rarity-weighted seeds, corpus distillation)")
 		sessions   = flag.Bool("sessions", false, "fuzz stateful message sequences through the target's session state machine instead of independent packets (target must publish a state model)")
+		ckptPath   = flag.String("checkpoint", "", "write a durable campaign checkpoint to this file during the run (atomic replace each time; warm-restart with -resume)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "executions between durable checkpoints (with -checkpoint; 0: default)")
+		resume     = flag.Bool("resume", false, "warm-restart: restore campaign state from the -checkpoint file before fuzzing (missing file: cold start)")
 		execCmd    = flag.String("exec-cmd", "", "spawn this command as the real fuzz target and drive it over the network ({addr} expands to -exec-addr); packets go to the process instead of the in-process sandbox")
 		execAddr   = flag.String("exec-addr", "", "host:port the spawned target serves on (required with -exec-cmd)")
 		execNet    = flag.String("exec-net", "tcp", "transport to the spawned target: tcp | udp (with -exec-cmd)")
@@ -81,6 +85,10 @@ func main() {
 	}
 	if *mesh == "" && (*peers != "" || *advertise != "") {
 		fmt.Fprintln(os.Stderr, "-peers and -advertise only apply to -mesh nodes")
+		os.Exit(2)
+	}
+	if *ckptPath == "" && (*ckptEvery != 0 || *resume) {
+		fmt.Fprintln(os.Stderr, "-checkpoint-every and -resume need -checkpoint (the checkpoint file)")
 		os.Exit(2)
 	}
 	var backend peachstar.ExecBackend
@@ -131,6 +139,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *resume {
+		switch err := campaign.RestoreCheckpoint(*ckptPath); {
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume yet — the first incarnation of a campaign
+			// run under a supervisor that always passes -resume.
+			fmt.Printf("no checkpoint at %s yet; starting cold\n", *ckptPath)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		default:
+			s := campaign.Stats()
+			fmt.Printf("resumed from %s: %d execs, %d edges, %d crashes, corpus %d puzzles\n",
+				*ckptPath, s.Execs, s.Edges, s.UniqueCrashes, s.CorpusPuzzles)
+		}
 	}
 
 	// Attachments: a hub and a mesh node are created as campaign-level
@@ -229,12 +252,14 @@ func main() {
 	fuzzing := *execs > 0 || *duration > 0
 	if fuzzing {
 		cfg := peachstar.RunConfig{
-			Execs:      *execs,
-			Duration:   *duration,
-			SyncEvery:  *syncEvery,
-			StatsEvery: *statsEvery,
-			Attach:     attach,
-			Exec:       backend,
+			Execs:           *execs,
+			Duration:        *duration,
+			SyncEvery:       *syncEvery,
+			StatsEvery:      *statsEvery,
+			Attach:          attach,
+			Exec:            backend,
+			CheckpointPath:  *ckptPath,
+			CheckpointEvery: *ckptEvery,
 		}
 		if backend != nil {
 			fmt.Printf("spawning target: %s (%s %s, watchdog %s)\n", *execCmd, *execNet, *execAddr, *execTO)
@@ -298,8 +323,10 @@ func main() {
 		// node with -execs 0 is a pure relay.
 		fmt.Println("local budget spent; serving fleet sync until interrupted (Ctrl-C)")
 		r, err := campaign.Start(context.Background(), peachstar.RunConfig{
-			RelayOnly: true,
-			Attach:    attach,
+			RelayOnly:       true,
+			Attach:          attach,
+			CheckpointPath:  *ckptPath,
+			CheckpointEvery: *ckptEvery,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -361,6 +388,10 @@ func printEvents(r *peachstar.Run, leaf *peachstar.SyncLeaf, mnode *peachstar.Me
 		case peachstar.SyncWindowEvent:
 			if ev.Err != nil {
 				fmt.Fprintf(os.Stderr, "sync %s %s: %v (continuing locally)\n", ev.Attachment, ev.Addr, ev.Err)
+			}
+		case peachstar.CheckpointEvent:
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint %s: %v (continuing; next checkpoint retries)\n", ev.Path, ev.Err)
 			}
 		}
 	}

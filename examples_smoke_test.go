@@ -25,6 +25,7 @@ func TestExamplesSmoke(t *testing.T) {
 		"./examples/realtarget/server",
 		"./examples/stateful",
 		"./examples/stateful/server",
+		"./examples/resume",
 	} {
 		out, err := exec.Command("go", "build", "-o", "/dev/null", dir).CombinedOutput()
 		if err != nil {
@@ -66,5 +67,16 @@ func TestExamplesSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "stateful: done (2/2 states reached)") {
 		t.Fatalf("stateful example did not reach every state:\n%s", out)
+	}
+
+	// The resume example checkpoints, rebuilds a campaign from the file, and
+	// self-checks the continuation against an uninterrupted run — its final
+	// line only prints if the two ended bit-for-bit identical.
+	out, err = exec.Command("go", "run", "./examples/resume", "-execs", "12000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume example failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "resume: continuation matches the uninterrupted campaign") {
+		t.Fatalf("resume example did not match the uninterrupted campaign:\n%s", out)
 	}
 }

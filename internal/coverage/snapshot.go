@@ -1,0 +1,116 @@
+package coverage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// This file is the coverage layer's side of the campaign-checkpoint seam:
+// Virgin and HitCounts serialize themselves through the canonical
+// checkpoint codec. Both dumps are sparse — only non-zero words (Virgin)
+// or non-zero counters (HitCounts) are written, in ascending index order —
+// so a checkpoint costs space proportional to the coverage actually
+// observed, the same dirty-word-aware discipline as the hot-path scans,
+// and the byte stream is canonical (snapshot → restore → snapshot is the
+// identical byte string).
+
+// Snapshot writes the accumulator's observed state: the number of non-zero
+// map words, then per word an ascending uvarint word index and the fixed
+// 64-bit word. The edge counter is derived state and is recomputed on
+// restore rather than stored.
+func (v *Virgin) Snapshot(w *checkpoint.Writer) {
+	seen := v.seen[:]
+	n := 0
+	for i := 0; i+8 <= len(seen); i += 8 {
+		if binary.LittleEndian.Uint64(seen[i:i+8]) != 0 {
+			n++
+		}
+	}
+	w.Int(n)
+	for i := 0; i+8 <= len(seen); i += 8 {
+		sw := binary.LittleEndian.Uint64(seen[i : i+8])
+		if sw == 0 {
+			continue
+		}
+		w.Int(i / 8)
+		w.U64(sw)
+	}
+}
+
+// Restore overwrites the accumulator with a Snapshot-produced dump,
+// recomputing the edge counter from the restored map. Word indices must be
+// strictly ascending and in range; violations fail the restore and leave
+// the reader's sticky error set.
+func (v *Virgin) Restore(r *checkpoint.Reader) error {
+	v.Reset()
+	seen := v.seen[:]
+	n := r.Count()
+	prev := -1
+	for i := 0; i < n && r.Err() == nil; i++ {
+		wi := r.Int()
+		sw := r.U64()
+		if r.Err() != nil {
+			break
+		}
+		if wi <= prev || wi >= MapSize/8 {
+			return fmt.Errorf("coverage: virgin word index %d out of order or range", wi)
+		}
+		prev = wi
+		binary.LittleEndian.PutUint64(seen[wi*8:wi*8+8], sw)
+		for b := 0; b < 64; b += 8 {
+			if byte(sw>>b) != 0 {
+				v.edges++
+			}
+		}
+	}
+	return r.Err()
+}
+
+// Snapshot writes the counter map: the accumulated execution count, the
+// number of non-zero counters, then per counter an ascending uvarint edge
+// index and uvarint count.
+func (h *HitCounts) Snapshot(w *checkpoint.Writer) {
+	w.U64(h.execs)
+	n := 0
+	for _, c := range h.counts {
+		if c != 0 {
+			n++
+		}
+	}
+	w.Int(n)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		w.Int(i)
+		w.Uvarint(uint64(c))
+	}
+}
+
+// Restore overwrites the counter map with a Snapshot-produced dump. Edge
+// indices must be strictly ascending and in range, and counts must fit the
+// 32-bit counters.
+func (h *HitCounts) Restore(r *checkpoint.Reader) error {
+	*h = HitCounts{}
+	h.execs = r.U64()
+	n := r.Count()
+	prev := -1
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := r.Int()
+		c := r.Uvarint()
+		if r.Err() != nil {
+			break
+		}
+		if e <= prev || e >= MapSize {
+			return fmt.Errorf("coverage: hit-count edge %d out of order or range", e)
+		}
+		if c == 0 || c > uint64(^uint32(0)) {
+			return fmt.Errorf("coverage: hit count %d for edge %d out of range", c, e)
+		}
+		prev = e
+		h.counts[e] = uint32(c)
+	}
+	return r.Err()
+}

@@ -22,6 +22,9 @@
 package executor
 
 import (
+	"errors"
+
+	"repro/internal/checkpoint"
 	"repro/internal/coverage"
 	"repro/internal/sandbox"
 )
@@ -61,6 +64,23 @@ type SessionExecutor interface {
 	BeginSession() error
 }
 
+// StateCheckpointer is the optional interface of executors whose backend
+// holds durable target state a campaign checkpoint can capture — the
+// target layer of the checkpoint seam. The in-process backend implements
+// it by delegating to the target (sandbox.StateCheckpointer); the process
+// backend does not: a real target's memory cannot be serialized, so a
+// warm-restarted process campaign resumes against a freshly started
+// target, exactly as it would after any supervised restart.
+type StateCheckpointer interface {
+	// SnapshotState writes the backend's target state, reporting whether
+	// anything was written (false when the concrete target has no
+	// capturable state).
+	SnapshotState(w *checkpoint.Writer) bool
+	// RestoreState overwrites the target state with a
+	// SnapshotState-produced dump.
+	RestoreState(r *checkpoint.Reader) error
+}
+
 // SessionResetter is the optional interface of in-process targets that
 // hold per-session state: ResetSession clears exactly the state a real
 // server would lose when a client reconnects (activation flags, sequence
@@ -94,6 +114,31 @@ func (x *InProc) Tracer() *coverage.Tracer { return x.r.Tracer() }
 // Close is a no-op: in-process targets have no resources beyond the
 // campaign's own memory.
 func (x *InProc) Close() error { return nil }
+
+// SnapshotState writes the target's durable state through the checkpoint
+// codec when the target knows how to capture it (sandbox.StateCheckpointer),
+// reporting whether anything was written. Targets without capturable state
+// contribute nothing to a campaign checkpoint.
+func (x *InProc) SnapshotState(w *checkpoint.Writer) bool {
+	t, ok := x.r.Target().(sandbox.StateCheckpointer)
+	if !ok {
+		return false
+	}
+	t.SnapshotState(w)
+	return true
+}
+
+// RestoreState overwrites the target's state with a SnapshotState-produced
+// dump. It fails when the target cannot restore state: a checkpoint that
+// carries target state must land on a backend that can absorb it, or the
+// warm restart would silently lose the continuation guarantee.
+func (x *InProc) RestoreState(r *checkpoint.Reader) error {
+	t, ok := x.r.Target().(sandbox.StateCheckpointer)
+	if !ok {
+		return errors.New("executor: checkpoint carries target state but the target cannot restore it")
+	}
+	return t.RestoreState(r)
+}
 
 // BeginSession asks the target to reset its per-session state, when it
 // knows how (SessionResetter); targets without session state need

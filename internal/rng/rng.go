@@ -103,6 +103,33 @@ func Shuffle[T any](r *RNG, xs []T) {
 // to a sub-component without correlating its draws with the parent's.
 func (r *RNG) Fork() *RNG { return New(r.Uint64()) }
 
+// State returns the generator's internal state words, the campaign-checkpoint
+// seam: restoring them with SetState resumes the stream exactly where it was,
+// so a warm-restarted worker continues the draw sequence it was killed in the
+// middle of instead of replaying from exec zero.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value previously
+// obtained from State. The all-zero state is xoshiro256**'s one absorbing
+// fixed point (it only emits zeros) and can never be produced by New or by
+// stepping a valid state, so it is rejected as corrupt.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errZeroState
+	}
+	r.s = s
+	return nil
+}
+
+// errZeroState is returned by SetState for the invalid all-zero state.
+var errZeroState = errorString("rng: all-zero state")
+
+// errorString is a stdlib-free error type (the package avoids importing
+// anything, keeping the hot-path generator dependency-light).
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
 // Split derives the seed of worker stream `stream` from a campaign seed, for
 // sharding one campaign across parallel workers. Stream 0 is the campaign
 // seed itself, so a single-stream campaign draws the exact sequence of the

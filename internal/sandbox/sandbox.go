@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/checkpoint"
 	"repro/internal/coverage"
 	"repro/internal/mem"
 )
@@ -81,6 +82,23 @@ type Target interface {
 	// (simulated memory violation) or any runtime error (native fault);
 	// the sandbox recovers both.
 	Handle(t *coverage.Tracer, packet []byte)
+}
+
+// StateCheckpointer is the optional interface of targets whose long-lived
+// state (register banks, simulated heap wear, activation flags) a campaign
+// checkpoint can capture. Targets that implement it make warm restarts
+// exact: the restored campaign resumes against the same target state the
+// interrupted one had accumulated, not a fresh instance. Targets without
+// it — including every real target process, whose memory the fuzzer cannot
+// serialize — start fresh after a restore, which is the same contract a
+// real-target campaign has after any supervised restart.
+type StateCheckpointer interface {
+	// SnapshotState writes the target's durable state through the
+	// checkpoint codec.
+	SnapshotState(w *checkpoint.Writer)
+	// RestoreState overwrites the target's state with a
+	// SnapshotState-produced dump.
+	RestoreState(r *checkpoint.Reader) error
 }
 
 // Runner executes packets against one target instance with one tracer.

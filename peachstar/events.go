@@ -11,7 +11,7 @@ import "time"
 
 // Event is one item of a Run's event stream. The concrete types are
 // StatsEvent, NewCoverageEvent, CrashEvent, DistillEvent, StateEvent,
-// and SyncWindowEvent; consumers type-switch:
+// SyncWindowEvent, and CheckpointEvent; consumers type-switch:
 //
 //	for ev := range run.Events() {
 //		switch ev := ev.(type) {
@@ -132,6 +132,27 @@ type SyncWindowEvent struct {
 }
 
 func (SyncWindowEvent) event() {}
+
+// CheckpointEvent reports one durable campaign checkpoint of a session
+// with RunConfig.CheckpointPath set: the atomic write of the campaign's
+// full state taken at a quiescent merge-window boundary. Err is nil on
+// success; a failed write is not fatal (the campaign keeps fuzzing and
+// the next checkpoint retries), so errors surface here rather than
+// ending the run.
+type CheckpointEvent struct {
+	// Path is the checkpoint file written (RunConfig.CheckpointPath).
+	Path string
+	// Execs is the campaign execution count the checkpoint captures.
+	Execs int
+	// Bytes is the checkpoint's encoded size.
+	Bytes int
+	// Elapsed is the snapshot-and-write duration.
+	Elapsed time.Duration
+	// Err is the write error, nil on success.
+	Err error
+}
+
+func (CheckpointEvent) event() {}
 
 // emit delivers one event to the stream without ever blocking a worker:
 // if the buffer is full, the oldest *droppable* event is evicted to make

@@ -103,6 +103,17 @@ type RunConfig struct {
 	// mid-session (spawn retries exhausted), the session ends early and
 	// Wait returns the failure.
 	Exec ExecBackend
+	// CheckpointPath, when non-empty, makes the session write a durable
+	// campaign checkpoint to this file every CheckpointEvery executions,
+	// after the final window, and (for a relay) every relay round — each
+	// write an atomic replace, reported as a CheckpointEvent. A later
+	// campaign built with the same options resumes from the file with
+	// Campaign.RestoreCheckpoint (or peachstar -resume).
+	CheckpointPath string
+	// CheckpointEvery is the number of fleet executions between durable
+	// checkpoints (0 = DefaultCheckpointEvery). Ignored without
+	// CheckpointPath.
+	CheckpointEvery int
 }
 
 // Attachment composes a fleet transport into a session: something a run
@@ -335,6 +346,9 @@ func (c *Campaign) Start(ctx context.Context, cfg RunConfig) (*Run, error) {
 	if cfg.RelayEvery <= 0 {
 		cfg.RelayEvery = DefaultRelayEvery
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
 	if cfg.Adaptive {
 		// Safe here: the one-session invariant holds (CAS above) and the
 		// fleet is quiescent until loop() starts driving it.
@@ -416,8 +430,8 @@ func (r *Run) Stop() {
 func (r *Run) Done() <-chan struct{} { return r.done }
 
 // Events returns the session's typed event stream: StatsEvent,
-// NewCoverageEvent, CrashEvent, DistillEvent, StateEvent and
-// SyncWindowEvent items, emitted at
+// NewCoverageEvent, CrashEvent, DistillEvent, StateEvent,
+// SyncWindowEvent and CheckpointEvent items, emitted at
 // merge-window granularity and closed when the session ends. The stream
 // observes the campaign; it never perturbs it: events are produced
 // without blocking the fuzzing loop, and when a slow consumer lets the
@@ -466,7 +480,7 @@ func (r *Run) loop() {
 	switch {
 	case r.cfg.RelayOnly:
 		syncErr = r.relayLoop()
-	case len(r.syncers) == 0:
+	case len(r.syncers) == 0 && r.cfg.CheckpointPath == "":
 		r.c.fleet.Drive(r.stop, core.Budget{Execs: r.cfg.Execs, Deadline: r.cfg.Deadline}, r.windowHook)
 	default:
 		syncErr = r.syncedLoop()
@@ -520,16 +534,28 @@ func (r *Run) budgetDone() bool {
 	return false
 }
 
-// syncedLoop drives an attached session: fuzz one sync window's worth of
-// executions, then exchange with every active attachment, until the
-// budget is spent or the session is stopped; a final flush settles the
-// remote state (and its error is the session result, like RunSynced's).
-// Exchange failures inside the loop surface as SyncWindowEvents and the
-// campaign keeps fuzzing — the next window retries.
+// syncedLoop drives an attached or checkpointing session: fuzz one
+// window's worth of executions, then exchange with every active
+// attachment and take any due durable checkpoint, until the budget is
+// spent or the session is stopped; a final flush settles the remote state
+// (and its error is the session result, like RunSynced's) and a final
+// checkpoint captures the session's last window. Exchange and checkpoint
+// failures inside the loop surface as events and the campaign keeps
+// fuzzing — the next window retries. Checkpoints are taken between Drive
+// calls, when every worker is quiescent, which is what makes each one a
+// consistent cut of the whole fleet.
 func (r *Run) syncedLoop() error {
 	fleet := r.c.fleet
+	ckpt := r.cfg.CheckpointPath != ""
+	nextCkpt := 0
+	if ckpt {
+		nextCkpt = (fleet.Execs()/r.cfg.CheckpointEvery + 1) * r.cfg.CheckpointEvery
+	}
 	for !r.spent() {
 		window := core.Budget{Execs: fleet.Execs() + r.cfg.SyncEvery, Deadline: r.cfg.Deadline}
+		if ckpt && nextCkpt < window.Execs {
+			window.Execs = nextCkpt
+		}
 		if r.cfg.Execs > 0 && window.Execs > r.cfg.Execs {
 			window.Execs = r.cfg.Execs
 		}
@@ -542,6 +568,10 @@ func (r *Run) syncedLoop() error {
 			r.stopForContext()
 			return nil
 		}
+		if ckpt && fleet.Execs() >= nextCkpt {
+			r.checkpointNow()
+			nextCkpt = (fleet.Execs()/r.cfg.CheckpointEvery + 1) * r.cfg.CheckpointEvery
+		}
 		r.syncAll()
 	}
 	if r.ctx.Err() != nil {
@@ -551,7 +581,11 @@ func (r *Run) syncedLoop() error {
 		r.stopForContext()
 		return nil
 	}
-	return r.syncAll()
+	err := r.syncAll()
+	if ckpt {
+		r.checkpointNow()
+	}
+	return err
 }
 
 // relayLoop serves attachments without fuzzing: one sync-and-report round
@@ -576,6 +610,9 @@ func (r *Run) relayLoop() error {
 		if r.spent() {
 			if r.ctx.Err() == nil {
 				lastErr = r.syncAll() // final flush on a graceful end
+				if r.cfg.CheckpointPath != "" {
+					r.checkpointNow()
+				}
 			}
 			return lastErr // a cancellation outcome is decided by loop()
 		}
@@ -586,6 +623,12 @@ func (r *Run) relayLoop() error {
 			continue // re-check spent and return
 		case <-tick.C:
 			lastErr = r.syncAll()
+			if r.cfg.CheckpointPath != "" {
+				// A relay's workers never run, so the fleet is always
+				// quiescent here; the checkpoint preserves what the relay
+				// absorbed from its peers.
+				r.checkpointNow()
+			}
 			r.c.fleet.PublishStats()
 			r.emit(StatsEvent{Stats: r.c.fleet.StatsApprox(), Elapsed: time.Since(r.start)})
 		}
