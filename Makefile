@@ -1,21 +1,28 @@
 # CI entry points for the Peach* reproduction. `make ci` is the full gate;
 # the individual targets are what it runs. `make check` is the fast
-# pre-commit gate: build + vet + race + the hot-path allocation guard +
-# the docs gate.
+# pre-commit gate: build + vet + lint + race + the hot-path allocation
+# guard + the docs gate.
 
 GO ?= go
 
-.PHONY: ci check build vet test race soak fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet bench-sched clean
+.PHONY: ci check build vet lint test race soak fuzz alloc-guard docs-check api-check api-snapshot bench-parallel bench-hotpath bench-fleetnet bench-sched clean
 
-ci: build vet test race docs-check api-check soak
+ci: build vet lint test race docs-check api-check soak
 
-check: build vet race alloc-guard docs-check api-check
+check: build vet lint race alloc-guard docs-check api-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (see internal/analysis): detsource,
+# rnggate, hotalloc, snapfields and atomicmix over every package. The
+# suite also self-applies inside `go test` (TestLintSelfClean), so a
+# violation turns both lint and test red.
+lint:
+	$(GO) run ./cmd/peachlint ./...
 
 test:
 	$(GO) test ./...
@@ -59,6 +66,7 @@ docs-check:
 	           internal/coverage internal/crash internal/datamodel internal/executor \
 	           internal/fleetnet internal/mem internal/mutator internal/pit \
 	           internal/rng internal/sandbox internal/session internal/bench \
+	           internal/analysis \
 	           internal/targets peachstar; do \
 	  pkg=$$(basename $$dir); \
 	  if ! grep -l "^// Package $$pkg " $$dir/*.go >/dev/null 2>&1; then \
@@ -72,6 +80,8 @@ docs-check:
 	  || { echo "docs-check: ARCHITECTURE.md lost the 'Session fuzzing' section"; fail=1; }; \
 	grep -q "Durable checkpoints" ARCHITECTURE.md 2>/dev/null \
 	  || { echo "docs-check: ARCHITECTURE.md lost the 'Durable checkpoints' section"; fail=1; }; \
+	grep -q "Static analysis" ARCHITECTURE.md 2>/dev/null \
+	  || { echo "docs-check: ARCHITECTURE.md lost the 'Static analysis' section"; fail=1; }; \
 	exit $$fail
 	$(GO) test -race ./internal/fleetnet
 

@@ -161,12 +161,12 @@ func main() {
 	}
 
 	out := map[string]any{
-		"bench":   "static vs adaptive scheduler, serial Peach* engines, equal budget and seed",
-		"go":      runtime.Version(),
-		"goarch":  runtime.GOARCH,
-		"execs":   *execs,
-		"seed":    *seed,
-		"results": results,
+		"bench":                       "static vs adaptive scheduler, serial Peach* engines, equal budget and seed",
+		"go":                          runtime.Version(),
+		"goarch":                      runtime.GOARCH,
+		"execs":                       *execs,
+		"seed":                        *seed,
+		"results":                     results,
 		"adaptive_edges_ge_static_on": fmt.Sprintf("%d of %d targets", adaptiveWins, len(names)),
 		"sessions": map[string]any{
 			"target":        "IEC104",

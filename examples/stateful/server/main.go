@@ -60,8 +60,8 @@ func sFrame(vr byte) []byte { return []byte{0x68, 0x04, 0x01, 0x00, vr << 1, 0x0
 func handle(c net.Conn) {
 	defer c.Close()
 	started := false
-	vr := byte(0)   // expected N(S) of the next accepted I-frame
-	accepted := 0   // I-frames accepted on this connection
+	vr := byte(0) // expected N(S) of the next accepted I-frame
+	accepted := 0 // I-frames accepted on this connection
 	buf := make([]byte, 4096)
 	for {
 		n, err := c.Read(buf)

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix catches mixed atomic/plain access to the same field: a field
+// that is published with sync/atomic anywhere (atomic.AddUint64(&s.n, ...)
+// or an atomic.Int64-style wrapper) must never be plainly read or written,
+// except inside the function that constructs its owner (before the value is
+// shared). A mixed access is a data race that the -race suite only reports
+// when the scheduler happens to interleave the two sides; atomicmix reports
+// it on every build. Provably quiescent plain access (all workers parked at
+// a merge-window boundary) is acknowledged with //peachstar:nonatomic
+// <reason>.
+var Atomicmix = &Analyzer{
+	Name:     "atomicmix",
+	Doc:      "fields published with sync/atomic must never be plainly accessed outside their constructor",
+	Suppress: DirNonatomic,
+	Run:      runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect the fields accessed through sync/atomic, and the
+	// exact selector nodes that constitute those sanctioned accesses.
+	atomicFields := map[*types.Var]bool{}      // plain ints passed as &s.f to atomic.*
+	sanctioned := map[*ast.SelectorExpr]bool{} // selector nodes inside atomic call args
+	wrapperFields := map[*types.Var]bool{}     // fields of type atomic.Int64 etc.
+
+	fieldOf := func(e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil, nil
+		}
+		return sel, s.Obj().(*types.Var)
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if path, _ := pkgFunc(info, call); path == "sync/atomic" {
+					for _, arg := range call.Args {
+						un, ok := arg.(*ast.UnaryExpr)
+						if !ok {
+							continue
+						}
+						if sel, fv := fieldOf(un.X); fv != nil {
+							atomicFields[fv] = true
+							sanctioned[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Wrapper-typed fields (atomic.Int64 & friends) found by scanning the
+	// package's struct types.
+	ownerOf := map[*types.Var]*types.Named{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			ownerOf[fv] = named
+			if isAtomicWrapper(fv.Type()) {
+				wrapperFields[fv] = true
+			}
+		}
+	}
+	if len(atomicFields) == 0 && len(wrapperFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a finding, unless the
+	// enclosing function constructs the owner (composite literal or
+	// new(T)), which happens-before any sharing.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, fv := fieldOf(n)
+				if fv == nil {
+					return true
+				}
+				if atomicFields[fv] && !sanctioned[sel] {
+					if constructsOwner(pass, ownerOf[fv], sel.Pos()) {
+						return true
+					}
+					pass.Reportf(sel.Pos(), "plain access to %s, which is published with sync/atomic elsewhere: a plain read/write races with the atomic side (use atomic access, or //peachstar:nonatomic <reason> at a proven quiescent point)", fieldDesc(ownerOf[fv], fv))
+				}
+				return true
+			case *ast.CallExpr:
+				// x.f.Load() — sanction the wrapper-field selector that is
+				// the method receiver.
+				if m, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if sel, fv := fieldOf(m.X); fv != nil && wrapperFields[fv] {
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			case *ast.UnaryExpr:
+				// &x.f on a wrapper keeps atomicity (the pointee is still
+				// accessed through its methods).
+				if sel, fv := fieldOf(n.X); fv != nil && wrapperFields[fv] {
+					sanctioned[sel] = true
+				}
+				return true
+			}
+			return true
+		})
+	}
+
+	// Wrapper misuse: any remaining unsanctioned selector of a wrapper
+	// field is a copy or overwrite of the atomic value.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, fv := fieldOf(se)
+			if fv == nil {
+				return true
+			}
+			if wrapperFields[fv] && !sanctioned[sel] {
+				if constructsOwner(pass, ownerOf[fv], sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "plain copy or overwrite of atomic wrapper field %s: access it only through its methods", fieldDesc(ownerOf[fv], fv))
+			}
+			return true
+		})
+	}
+}
+
+func fieldDesc(owner *types.Named, fv *types.Var) string {
+	if owner != nil {
+		return owner.Obj().Name() + "." + fv.Name()
+	}
+	return fv.Name()
+}
+
+// isAtomicWrapper reports whether t is one of sync/atomic's typed wrappers
+// (atomic.Int64, atomic.Uint64, atomic.Bool, atomic.Value, ...).
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// constructsOwner reports whether the function enclosing pos creates the
+// owner type itself (a composite literal or new(T) of it): initialisation
+// before sharing is the one place plain access is legal.
+func constructsOwner(pass *Pass, owner *types.Named, pos token.Pos) bool {
+	if owner == nil {
+		return false
+	}
+	fn := enclosingFunc(pass.Files, pos)
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && namedIs(tv.Type, owner) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+				if _, isBuiltin := usesOf(pass.TypesInfo, id).(*types.Builtin); isBuiltin {
+					if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && namedIs(tv.Type, owner) {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedIs reports whether t (possibly behind a pointer) is the named type.
+func namedIs(t types.Type, want *types.Named) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == want.Obj()
+}

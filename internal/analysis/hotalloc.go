@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc flags alloc-introducing constructs inside functions annotated
+// //peachstar:hotpath: fmt calls, string concatenation and
+// string<->[]byte conversions, interface boxing of non-pointer values,
+// closures that capture variables, map/chan literals and makes, and append
+// to a local slice that was not pre-sized. It turns the runtime
+// TestSteadyStateExecAllocBudget guard (a lagging, whole-loop indicator)
+// into a file:line diagnostic at the offending expression. Allocations
+// that are genuinely off the steady-state path (slab growth, first-call
+// sizing) are acknowledged with //peachstar:allocok <reason>.
+var Hotalloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "flag alloc-introducing constructs in //peachstar:hotpath functions",
+	Suppress: DirAllocOK,
+	Run:      runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.FuncHasDirective(fn, DirHotpath) {
+				continue
+			}
+			h := &hotallocChecker{pass: pass, fn: fn}
+			h.classifyLocals()
+			ast.Inspect(fn.Body, h.visit)
+		}
+	}
+}
+
+type hotallocChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	// unpresized holds local slice vars declared without capacity (var s
+	// []T, s := []T{...}); appending to them grows in-loop.
+	unpresized map[types.Object]bool
+}
+
+// classifyLocals records which local slice variables were declared without
+// a capacity, so append to them can be flagged while append into a
+// caller-provided or make(cap)'d slice stays clean.
+func (h *hotallocChecker) classifyLocals() {
+	h.unpresized = map[types.Object]bool{}
+	info := h.pass.TypesInfo
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isSlice(obj.Type()) {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						h.unpresized[obj] = true // var s []T — nil slice
+					} else if i < len(vs.Values) && unpresizedExpr(info, vs.Values[i]) {
+						h.unpresized[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj != nil && isSlice(obj.Type()) && unpresizedExpr(info, n.Rhs[i]) {
+					h.unpresized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// unpresizedExpr reports whether the initialiser yields a slice with no
+// useful capacity: a composite literal (empty or seeded, growth follows)
+// qualifies; make with an explicit length/capacity, a subslice, or a call
+// result does not.
+func unpresizedExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return isSlice(info.Types[e].Type)
+	case *ast.CallExpr:
+		// make carries an explicit size; other call results are the
+		// callee's responsibility.
+		return false
+	default:
+		return false
+	}
+}
+
+func isSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func (h *hotallocChecker) visit(n ast.Node) bool {
+	pass := h.pass
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		h.call(n)
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringType(pass.TypesInfo.Types[n].Type) {
+			pass.Reportf(n.OpPos, "string concatenation allocates in hotpath %s", h.fn.Name.Name)
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypesInfo.Types[n.Lhs[0]].Type) {
+			pass.Reportf(n.TokPos, "string concatenation allocates in hotpath %s", h.fn.Name.Name)
+		}
+		if n.Tok == token.ASSIGN {
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					h.boxing(n.Rhs[i], pass.TypesInfo.Types[lhs].Type)
+				}
+			}
+		}
+	case *ast.GenDecl:
+		if n.Tok == token.VAR {
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil {
+					declared := pass.TypesInfo.Types[vs.Type].Type
+					for _, v := range vs.Values {
+						h.boxing(v, declared)
+					}
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if t := pass.TypesInfo.Types[n].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map literal allocates in hotpath %s", h.fn.Name.Name)
+			}
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&-composite literal escapes to the heap in hotpath %s", h.fn.Name.Name)
+			}
+		}
+	case *ast.FuncLit:
+		if capt := h.captures(n); capt != "" {
+			pass.Reportf(n.Pos(), "closure captures %s and allocates in hotpath %s", capt, h.fn.Name.Name)
+		}
+		return false // don't descend: inner code runs when the closure does
+	}
+	return true
+}
+
+// call classifies a call expression: fmt.*, make(map/chan), conversions
+// between string and byte/rune slices, append to un-presized locals, and
+// interface boxing of arguments.
+func (h *hotallocChecker) call(call *ast.CallExpr) {
+	pass := h.pass
+	info := pass.TypesInfo
+
+	if path, name := pkgFunc(info, call); path == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting, boxing) in hotpath %s", name, h.fn.Name.Name)
+		return
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, info.Types[call.Args[0]].Type
+		if isStringType(dst) && isByteOrRuneSlice(src) {
+			pass.Reportf(call.Pos(), "[]byte-to-string conversion allocates in hotpath %s", h.fn.Name.Name)
+		}
+		if isByteOrRuneSlice(dst) && isStringType(src) {
+			pass.Reportf(call.Pos(), "string-to-slice conversion allocates in hotpath %s", h.fn.Name.Name)
+		}
+		return
+	}
+
+	// Builtins: make(map/chan), append to un-presized local.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := usesOf(info, id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					switch info.Types[call.Args[0]].Type.Underlying().(type) {
+					case *types.Map:
+						pass.Reportf(call.Pos(), "make(map) allocates in hotpath %s", h.fn.Name.Name)
+					case *types.Chan:
+						pass.Reportf(call.Pos(), "make(chan) allocates in hotpath %s", h.fn.Name.Name)
+					}
+				}
+			case "new":
+				pass.Reportf(call.Pos(), "new(T) allocates in hotpath %s", h.fn.Name.Name)
+			case "append":
+				if len(call.Args) > 0 {
+					if sid, ok := call.Args[0].(*ast.Ident); ok {
+						if obj := usesOf(info, sid); obj != nil && h.unpresized[obj] {
+							pass.Reportf(call.Pos(), "append to un-presized local %q grows in hotpath %s (pre-size with make or reuse scratch)", sid.Name, h.fn.Name.Name)
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Interface boxing of arguments.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // s... spreads an existing slice; no per-element boxing here
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		h.boxing(arg, pt)
+	}
+}
+
+// boxing reports arg if storing it into a destination of interface type
+// heap-allocates: the value is concrete and not pointer-shaped.
+func (h *hotallocChecker) boxing(arg ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv := h.pass.TypesInfo.Types[arg]
+	src := tv.Type
+	if src == nil || tv.IsNil() {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return // interface-to-interface: no new allocation
+	}
+	if pointerShaped(src) {
+		return // pointers/chans/maps/funcs store directly in the iface word
+	}
+	h.pass.Reportf(arg.Pos(), "interface boxing of %s allocates in hotpath %s", types.TypeString(src, types.RelativeTo(h.pass.Pkg)), h.fn.Name.Name)
+}
+
+// captures returns the name of a variable the closure captures from the
+// enclosing function, or "" if it captures nothing (a static closure).
+func (h *hotallocChecker) captures(lit *ast.FuncLit) string {
+	info := h.pass.TypesInfo
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside the
+		// literal itself.
+		if v.Pos() >= h.fn.Pos() && v.Pos() < h.fn.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit directly in an interface's
+// data word without allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

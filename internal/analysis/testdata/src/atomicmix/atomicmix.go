@@ -1,0 +1,52 @@
+// Package atomdemo is atomicmix testdata: a field published with
+// sync/atomic anywhere must never be plainly accessed outside its owner's
+// constructor, and atomic wrapper fields must only be touched through
+// their methods.
+package atomdemo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu    sync.Mutex
+	execs uint64
+	total atomic.Uint64
+}
+
+// newCounter constructs the owner: plain initialisation happens-before any
+// sharing and is legal.
+func newCounter() *counter {
+	c := &counter{}
+	c.execs = 1
+	return c
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.execs, 1)
+	c.total.Add(1)
+}
+
+func (c *counter) read() uint64 {
+	return c.execs // want `plain access to counter\.execs`
+}
+
+//peachstar:nonatomic fixture: all workers parked at the merge barrier
+func (c *counter) quiescentRead() uint64 {
+	return c.execs
+}
+
+func (c *counter) wrapperLoad() uint64 { return c.total.Load() }
+
+func (c *counter) wrapperCopy() atomic.Uint64 {
+	return c.total // want `plain copy or overwrite of atomic wrapper field counter\.total`
+}
+
+// plain is never touched by sync/atomic: ordinary access stays out of
+// scope entirely.
+type plain struct {
+	n int
+}
+
+func (p *plain) inc() { p.n++ }

@@ -1,0 +1,106 @@
+// Package core is detsource testdata posing as repro/internal/core: every
+// banned nondeterminism source seeded here must be flagged, and every
+// recognised order-insensitive shape must come back clean.
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t0 := time.Now()             // want `time\.Now in deterministic package`
+	return int64(time.Since(t0)) // want `time\.Since in deterministic package`
+}
+
+// deadline reads the wall clock for loop-exit gating only; the doc-comment
+// directive covers every diagnostic in the function.
+//
+//peachstar:nondeterministic wall clock gates loop exit, never fuzzing state
+func deadline() time.Time {
+	return time.Now()
+}
+
+func lineSuppressed() time.Time {
+	//peachstar:nondeterministic fixture: provably cannot reach fuzzing state
+	return time.Now()
+}
+
+func emits(m map[string]int, sink func(string)) {
+	for k := range m { // want `map iteration order reaches output`
+		sink(k)
+	}
+}
+
+func emitsSuppressed(m map[string]int, sink func(string)) {
+	//peachstar:nondeterministic fixture: sink is order-insensitive by contract
+	for k := range m {
+		sink(k)
+	}
+}
+
+func accumulates(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func freshLocals(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		d := v * 2
+		n += d
+	}
+	return n
+}
+
+func keyedStores(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func prune(m, dead map[string]int) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+func keyless(m map[string]int, count func()) {
+	// Neither key nor value is bound: the iterations are indistinguishable,
+	// so their order is unobservable even though the body calls a function.
+	for range m {
+		count()
+	}
+}
+
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `collects into "keys" which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}

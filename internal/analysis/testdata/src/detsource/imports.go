@@ -1,0 +1,11 @@
+package core
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand: system entropy`
+	mrand "math/rand"   // want `import of math/rand: deterministic packages draw`
+)
+
+func stdlibRand(buf []byte) int {
+	_, _ = crand.Read(buf)
+	return mrand.Int()
+}

@@ -1,0 +1,9 @@
+// Package dirdemo holds malformed //peachstar: directives; every one must
+// surface as a finding rather than silently disabling a check.
+package dirdemo
+
+//peachstar:hotpth misspelled kind
+func typo() {}
+
+//peachstar:nosnap
+func missingReason() {}

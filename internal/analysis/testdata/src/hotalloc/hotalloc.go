@@ -1,0 +1,72 @@
+// Package hotdemo is hotalloc testdata: every alloc-introducing construct
+// inside a //peachstar:hotpath function must be flagged, pre-sized and
+// pointer-shaped equivalents must come back clean, and the same constructs
+// in an unannotated function are out of scope.
+package hotdemo
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func sink(v any) { _ = v }
+
+//peachstar:hotpath
+func hot(name string, vals []int) string {
+	s := fmt.Sprintf("x=%d", 1) // want `fmt\.Sprintf allocates`
+	s = s + name                // want `string concatenation allocates`
+	b := []byte(name)           // want `string-to-slice conversion allocates`
+	_ = string(b)               // want `\[\]byte-to-string conversion allocates`
+	m := map[string]int{}       // want `map literal allocates`
+	_ = m
+	mm := make(map[string]int) // want `make\(map\) allocates`
+	_ = mm
+	ch := make(chan int) // want `make\(chan\) allocates`
+	_ = ch
+
+	var acc []int
+	for _, v := range vals {
+		acc = append(acc, v) // want `append to un-presized local "acc" grows`
+	}
+	_ = acc
+
+	p := &point{1, 2} // want `&-composite literal escapes to the heap`
+	_ = p
+	q := new(point) // want `new\(T\) allocates`
+	_ = q
+
+	n := len(vals)
+	f := func() int { return n } // want `closure captures n and allocates`
+	_ = f
+
+	sink(n) // want `interface boxing of int allocates`
+	return s
+}
+
+//peachstar:hotpath
+func hotClean(vals []int, scratch []byte) []int {
+	// Pre-sized append, pointer-shaped interface args, and static closures
+	// are all allocation-free: none of these may be flagged.
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	scratch = scratch[:0]
+	sink(&out)
+	g := func() int { return 1 }
+	_ = g
+	return out
+}
+
+//peachstar:hotpath
+func hotExcused() *point {
+	//peachstar:allocok fixture: grow-on-miss fallback, counted and amortised
+	return &point{3, 4}
+}
+
+// cold is unannotated: identical constructs are out of hotalloc's scope.
+func cold(name string) string {
+	s := fmt.Sprintf("x=%s", name)
+	m := map[string]int{}
+	_ = m
+	return s + name
+}

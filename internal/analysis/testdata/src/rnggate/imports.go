@@ -1,0 +1,7 @@
+package rnggate
+
+import "math/rand" // want `import of math/rand: all randomness flows through internal/rng`
+
+func stdlibRand() int {
+	return rand.Int()
+}

@@ -1,0 +1,27 @@
+// Package rnggate is rnggate testdata posing as a non-seeding engine
+// package: stream creation must be flagged, drawing from a handed-in
+// stream must not.
+package rnggate
+
+import (
+	"repro/internal/rng"
+)
+
+func mintsStream() *rng.RNG {
+	return rng.New(42) // want `rng\.New outside a seeding layer`
+}
+
+func splitsSeed(seed uint64) uint64 {
+	return rng.Split(seed, 3) // want `rng\.Split outside a seeding layer`
+}
+
+// drawsFromHandle consumes a stream handle minted by the seeding layer —
+// the sanctioned shape.
+func drawsFromHandle(r *rng.RNG) uint64 {
+	return r.Uint64()
+}
+
+//peachstar:nondeterministic fixture: offline replay tool mints a scratch stream
+func suppressedMint() *rng.RNG {
+	return rng.New(7)
+}

@@ -1,0 +1,16 @@
+// Package seedtool is rnggate testdata posing as repro/cmd/seedtool, a
+// designated seeding layer: minting and splitting streams is its job, so
+// the whole file must come back clean.
+package seedtool
+
+import (
+	"repro/internal/rng"
+)
+
+func campaignStreams(seed uint64, workers int) []*rng.RNG {
+	out := make([]*rng.RNG, workers)
+	for i := range out {
+		out[i] = rng.New(rng.Split(seed, i))
+	}
+	return out
+}

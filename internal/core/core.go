@@ -161,9 +161,10 @@ type Stats struct {
 
 // Engine is one fuzzing campaign.
 type Engine struct {
-	cfg     Config
-	r       *rng.RNG
-	exec    executor.Executor
+	cfg  Config //peachstar:nosnap construction-time config; a restored campaign keeps its own
+	r    *rng.RNG
+	exec executor.Executor
+	//peachstar:nosnap backend health is runtime state, not campaign state; restore clears it
 	execErr error // first unrecoverable backend failure; sticky
 	// restartsAccum carries the target-restart counts of previous
 	// executors across SwapExecutor boundaries, so a campaign's
@@ -171,24 +172,24 @@ type Engine struct {
 	// backend.
 	restartsAccum int
 	virgin        *virginState
-	corp    *corpus.Corpus
-	crashes *crash.Bank
-	muts    []mutator.Mutator
-	stats   Stats
+	corp          *corpus.Corpus
+	crashes       *crash.Bank
+	muts          []mutator.Mutator //peachstar:nosnap mutator suite is construction wiring
+	stats         Stats
 	// pending holds seeds generated but not yet executed (Algorithm 3
 	// produces batches); pendingSemantic records their provenance.
-	pending         [][]byte
-	pendingSemantic bool
+	pending         [][]byte //peachstar:nosnap in-flight batch is discarded at a checkpoint; restore resets it
+	pendingSemantic bool     //peachstar:nosnap provenance of the discarded in-flight batch
 	// Hot-path scratch state, reset once per generation round: the arena
 	// backs every transient instance tree and rendered seed; leaves,
 	// cands and saved are reused slices for the per-iteration walks;
 	// dedup is the per-batch duplicate filter. Everything that outlives
 	// an iteration (corpus, crash bank, valuable queue) copies out.
-	arena  datamodel.Arena
-	leaves []*datamodel.Node
-	cands  [][]corpus.Puzzle
-	saved  [][]byte
-	dedup  map[string]bool
+	arena  datamodel.Arena   //peachstar:nosnap per-round scratch slab, reset at round start
+	leaves []*datamodel.Node //peachstar:nosnap per-iteration walk scratch
+	cands  [][]corpus.Puzzle //peachstar:nosnap per-iteration walk scratch
+	saved  [][]byte          //peachstar:nosnap per-iteration walk scratch
+	dedup  map[string]bool   //peachstar:nosnap per-batch filter; restore resets it
 	// valuable holds the retained coverage-increasing instances per
 	// model — the feedback-selected bases for "mutation on existing
 	// chunks" (§II). Bounded per model; older entries are evicted.
@@ -200,7 +201,7 @@ type Engine struct {
 	// donorScr holds per-position donor scratch for semantic generation,
 	// reused across rounds so CrossModelDonorsInto filtering stays
 	// alloc-free on the hot path.
-	donorScr [][]corpus.Puzzle
+	donorScr [][]corpus.Puzzle //peachstar:nosnap reusable donor scratch, regrown on demand
 	// mut is the byte-level state of the mutation strategies (§VII
 	// future-work extension).
 	mut mutationState
@@ -318,6 +319,8 @@ func (e *Engine) Corpus() *corpus.Corpus { return e.corp }
 // Step runs one iteration of the outer loop (Algorithm 1 lines 3-12):
 // generate seed(s) under the configured strategy, execute them, process
 // feedback. It returns the number of executions performed.
+//
+//peachstar:hotpath
 func (e *Engine) Step() int {
 	if e.sess != nil {
 		return e.stepSession()

@@ -160,6 +160,7 @@ func (f *Fleet) driveWorker(stop <-chan struct{}, w *Engine, i, target int, dead
 		if hasTarget && w.stats.Execs >= target {
 			return
 		}
+		//peachstar:nondeterministic wall-clock deadline only gates loop exit, never fuzzing state
 		if hasDeadline && !time.Now().Before(deadline) {
 			return
 		}
@@ -171,6 +172,7 @@ func (f *Fleet) driveWorker(stop <-chan struct{}, w *Engine, i, target int, dead
 			window = target
 		}
 		for w.stats.Execs < window && w.execErr == nil {
+			//peachstar:nondeterministic wall-clock deadline only gates loop exit, never fuzzing state
 			if hasDeadline && !time.Now().Before(deadline) {
 				break
 			}
@@ -198,6 +200,7 @@ func (f *Fleet) driveSerial(stop <-chan struct{}, b Budget, hook WindowHook) {
 		if b.Execs > 0 && w.stats.Execs >= b.Execs {
 			return
 		}
+		//peachstar:nondeterministic wall-clock deadline only gates loop exit, never fuzzing state
 		if hasDeadline && !time.Now().Before(b.Deadline) {
 			return
 		}
@@ -209,6 +212,7 @@ func (f *Fleet) driveSerial(stop <-chan struct{}, b Budget, hook WindowHook) {
 			window = b.Execs
 		}
 		for w.stats.Execs < window && w.execErr == nil {
+			//peachstar:nondeterministic wall-clock deadline only gates loop exit, never fuzzing state
 			if hasDeadline && !time.Now().Before(b.Deadline) {
 				break
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/corpus"
 	"repro/internal/coverage"
 	"repro/internal/datamodel"
@@ -140,7 +142,7 @@ type contributor struct {
 // scheduler is the engine-owned adaptive state. The zero value is the
 // disabled scheduler; enable builds the counter tables.
 type scheduler struct {
-	on bool
+	on bool //peachstar:nosnap recorded by the Engine checkpoint envelope, not the scheduler codec
 
 	// Operator accounting, [model][mutator]. trials/hits drive the
 	// weights and decay; trialsAll/hitsAll are the monotonic reporting
@@ -150,13 +152,14 @@ type scheduler struct {
 	weights            [][]uint32 // nil per model until past warmup → uniform
 	recalcIn           []uint32
 	totalTrials        []uint64
-	yields             []float64 // recompute scratch
+	//peachstar:nosnap recompute scratch, rewritten by every refresh
+	yields []float64 // recompute scratch
 
 	// curModel is the model of the generation round in flight; roundMuts
 	// are the mutator indices applied while generating it — the credit
 	// set if an execution of the round proves valuable.
-	curModel  int
-	roundMuts []int
+	curModel  int   //peachstar:nosnap round-in-flight credit state; restore resets it
+	roundMuts []int //peachstar:nosnap round-in-flight credit state; restore resets it
 
 	// Rarity sidecar and refresh countdown.
 	hitCounts *coverage.HitCounts
@@ -306,7 +309,13 @@ func (e *Engine) observeExec(valuable bool) {
 // drift — acceptable: rarity orders change slowly, and the refresh keeps
 // the per-pick cost at one cumulative scan of a ≤32-entry queue.
 func (e *Engine) refreshScores() {
-	for _, q := range e.valuable {
+	names := make([]string, 0, len(e.valuable))
+	for name := range e.valuable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		q := e.valuable[name]
 		for i := range q {
 			if len(q[i].edges) == 0 {
 				// A seed retained before the sidecar existed (scheduler

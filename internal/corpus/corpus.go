@@ -30,10 +30,11 @@ type Puzzle struct {
 //
 // A Corpus is not safe for concurrent use; the engine owns it.
 type Corpus struct {
-	perSig   int
-	bySig    map[string][]Puzzle
+	perSig int
+	bySig  map[string][]Puzzle
+	//peachstar:nosnap dedup set is rebuilt by Restore from the restored store
 	seen     map[string]bool // dedup key: signature + "\x00" + data
-	puzzles  int
+	puzzles  int             //peachstar:nosnap recounted by Restore while rebuilding the store
 	inserted int
 	// journal is the list of accepted puzzles in acceptance order. Sync
 	// peers remember how far into a corpus's journal they have read

@@ -311,8 +311,9 @@ func Classify(m []byte) {
 // fuzzing campaign. It answers the valuable-seed question of §IV-B: did this
 // execution light any bit that has never been lit before?
 type Virgin struct {
-	seen  [MapSize]byte // OR of all bucketed maps observed so far
-	edges int           // distinct edges with any bucket seen
+	seen [MapSize]byte // OR of all bucketed maps observed so far
+	//peachstar:nosnap derived from seen; recomputed on restore
+	edges int // distinct edges with any bucket seen
 }
 
 // NewVirgin returns an empty campaign-coverage accumulator.
@@ -368,6 +369,8 @@ func (v *Virgin) Merge(raw []byte) bool {
 // MergeTracer is Merge over a tracer's live map, walking only the lines the
 // execution touched — the per-execution feedback step of the engine. It is
 // observationally identical to Merge(t.Raw()).
+//
+//peachstar:hotpath
 func (v *Virgin) MergeTracer(t *Tracer) bool {
 	valuable := false
 	seen := v.seen[:]

@@ -61,11 +61,14 @@ func grown(have, miss int) int {
 }
 
 // Node returns a zeroed node that lives until the next Reset.
+//
+//peachstar:hotpath
 func (a *Arena) Node() *Node {
 	if a == nil || a.nodeOff == len(a.nodes) {
 		if a != nil {
 			a.nodeMiss++
 		}
+		//peachstar:allocok slab-exhaustion fallback; misses are counted and the next Reset grows the slab
 		return &Node{}
 	}
 	n := &a.nodes[a.nodeOff]
@@ -76,6 +79,8 @@ func (a *Arena) Node() *Node {
 
 // Children returns a zero-length child slice with capacity n. Appending
 // beyond n reallocates onto the heap, which is safe — merely unarenaed.
+//
+//peachstar:hotpath
 func (a *Arena) Children(n int) []*Node {
 	if a == nil || a.ptrOff+n > len(a.ptrs) {
 		if a != nil {
@@ -89,6 +94,8 @@ func (a *Arena) Children(n int) []*Node {
 }
 
 // Bytes returns a zeroed byte slice of length n.
+//
+//peachstar:hotpath
 func (a *Arena) Bytes(n int) []byte {
 	b := a.Buffer(n)[:n]
 	clear(b)
@@ -97,6 +104,8 @@ func (a *Arena) Bytes(n int) []byte {
 
 // Buffer returns a zero-length byte slice with capacity n, for callers that
 // overwrite every byte (seed rendering via Node.AppendTo).
+//
+//peachstar:hotpath
 func (a *Arena) Buffer(n int) []byte {
 	if a == nil || a.bufOff+n > len(a.buf) {
 		if a != nil {

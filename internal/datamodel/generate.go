@@ -11,6 +11,8 @@ func (m *Model) Generate() *Node { return m.GenerateInto(nil) }
 
 // GenerateInto is Generate drawing all nodes, child slices and leaf bytes
 // from the arena (nil means the heap) — the engine's per-iteration path.
+//
+//peachstar:hotpath
 func (m *Model) GenerateInto(a *Arena) *Node {
 	n := generateChunk(a, m.root(), nil)
 	m.ApplyFixups(n)
@@ -26,6 +28,8 @@ func (m *Model) GenerateInto(a *Arena) *Node {
 func (m *Model) GenerateRandom(r *rng.RNG) *Node { return m.GenerateRandomInto(nil, r) }
 
 // GenerateRandomInto is GenerateRandom backed by the arena (nil = heap).
+//
+//peachstar:hotpath
 func (m *Model) GenerateRandomInto(a *Arena, r *rng.RNG) *Node {
 	n := generateChunk(a, m.root(), r)
 	m.ApplyFixups(n)

@@ -93,11 +93,11 @@ func mbap(pdu ...byte) []byte {
 
 // Crafted packets against the toy server's planted faults.
 var (
-	pktRead     = mbap(3, 0x00, 0x10, 0x00, 0x04)  // fc3: read 4 registers at 0x10
-	pktWrite    = mbap(6, 0x00, 0x20, 0x12, 0x34)  // fc6: benign write
-	pktCrashLow = mbap(6, 0xDE, 0x10, 0x00, 0x00)  // fc6 @ 0xDE10 → os.Exit(41)
-	pktCrashHi  = mbap(6, 0xDE, 0x90, 0x00, 0x00)  // fc6 @ 0xDE90 → os.Exit(42)
-	pktHang     = mbap(0x41, 0xDE)                 // vendor fc + magic → busy loop
+	pktRead     = mbap(3, 0x00, 0x10, 0x00, 0x04) // fc3: read 4 registers at 0x10
+	pktWrite    = mbap(6, 0x00, 0x20, 0x12, 0x34) // fc6: benign write
+	pktCrashLow = mbap(6, 0xDE, 0x10, 0x00, 0x00) // fc6 @ 0xDE10 → os.Exit(41)
+	pktCrashHi  = mbap(6, 0xDE, 0x90, 0x00, 0x00) // fc6 @ 0xDE90 → os.Exit(42)
+	pktHang     = mbap(0x41, 0xDE)                // vendor fc + magic → busy loop
 )
 
 func mustRun(t *testing.T, p *Proc, pkt []byte) sandbox.Result {

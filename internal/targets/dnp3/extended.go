@@ -107,10 +107,17 @@ func (o *Outstation) extendedRead(tr *coverage.Tracer, h header) bool {
 		o.scanRange(tr, h, len(o.ext.frozen), 99)
 	case grOctetString:
 		o.hit(tr, 101)
+		// Count the in-range strings first, then record the per-string edge
+		// that many times: hitting the same edge n times is the same trace
+		// whatever order the map yields the indices in.
+		n := 0
 		for idx := range o.ext.octet {
 			if h.stop < 0 || (idx >= h.start && idx <= h.stop) {
-				o.hit(tr, 102)
+				n++
 			}
+		}
+		for i := 0; i < n; i++ {
+			o.hit(tr, 102)
 		}
 	default:
 		return false

@@ -64,7 +64,7 @@ const (
 
 // Server is the instrumented libmodbus server core.
 type Server struct {
-	id []coverage.BlockID
+	id []coverage.BlockID //peachstar:nosnap immutable block identity wired at construction
 
 	coils    [nbCoils]bool
 	discrete [nbDiscrete]bool
